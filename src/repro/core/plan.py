@@ -1,0 +1,151 @@
+"""Logical and physical plan representations.
+
+A *logical plan* is a sequence of natural-language step descriptions with
+declared inputs/outputs (the Planning Phase output, Figure 2).  A *physical
+plan* binds each step to a concrete operator and its arguments (the Mapping
+Phase output).  Because mapping is interleaved with execution, the physical
+plan is materialized incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.data.table import Table
+from repro.plotting.spec import PlotSpec
+
+
+@dataclass
+class LogicalStep:
+    """One step of the logical plan."""
+
+    index: int                      # 1-based, as written in the plan text
+    description: str
+    inputs: list[str] = field(default_factory=list)
+    output: str = ""
+    new_columns: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"Step {self.index}: {self.description}"]
+        lines.append(f"Input: {self.inputs!r}")
+        lines.append(f"Output: {self.output}")
+        lines.append(f"New Columns: {self.new_columns!r}")
+        return "\n".join(lines)
+
+
+@dataclass
+class LogicalPlan:
+    """The Planning Phase result: ordered steps plus the model's thought."""
+
+    steps: list[LogicalStep] = field(default_factory=list)
+    thought: str = ""
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def render(self) -> str:
+        parts = []
+        if self.thought:
+            parts.append(f"Thought: {self.thought}")
+        parts.extend(step.render() for step in self.steps)
+        parts.append(f"Step {len(self.steps) + 1}: Plan completed.")
+        return "\n".join(parts)
+
+    def dataflow_graph(self) -> "nx.DiGraph":
+        """Table-level dataflow DAG (tables and steps as nodes)."""
+        graph = nx.DiGraph()
+        for step in self.steps:
+            step_node = f"step:{step.index}"
+            graph.add_node(step_node, kind="step",
+                           description=step.description)
+            for table in step.inputs:
+                graph.add_node(table, kind="table")
+                graph.add_edge(table, step_node)
+            if step.output:
+                graph.add_node(step.output, kind="table")
+                graph.add_edge(step_node, step.output)
+        return graph
+
+
+@dataclass
+class PhysicalStep:
+    """A logical step bound to an operator with concrete arguments."""
+
+    logical: LogicalStep
+    operator: str
+    arguments: list[str]
+    reasoning: str = ""
+
+    def render(self) -> str:
+        return (f"Step {self.logical.index}: {self.logical.description}\n"
+                f"Reasoning: {self.reasoning}\n"
+                f"Operator: {self.operator}\n"
+                f"Arguments: ({'; '.join(self.arguments)})")
+
+
+@dataclass
+class Observation:
+    """Feedback from executing one physical step (fed to the next prompt)."""
+
+    step_index: int
+    text: str
+
+
+@dataclass
+class ErrorEvent:
+    """One error encountered during planning/mapping/execution."""
+
+    phase: str          # "planning" | "mapping" | "execution"
+    step_index: int | None
+    message: str
+    recovered: bool = False
+
+
+@dataclass
+class PlanTrace:
+    """Everything that happened while answering one query."""
+
+    query: str
+    logical_plan: LogicalPlan | None = None
+    physical_steps: list[PhysicalStep] = field(default_factory=list)
+    observations: list[Observation] = field(default_factory=list)
+    errors: list[ErrorEvent] = field(default_factory=list)
+    replans: int = 0
+
+    @property
+    def crashed(self) -> bool:
+        return any(not e.recovered for e in self.errors)
+
+    def operators_used(self) -> list[str]:
+        return [step.operator for step in self.physical_steps]
+
+
+@dataclass
+class QueryResult:
+    """The final answer CAESURA returns for a query."""
+
+    kind: str                      # "value" | "table" | "plot" | "error"
+    value: object = None
+    table: Table | None = None
+    plot: PlotSpec | None = None
+    trace: PlanTrace | None = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.kind != "error"
+
+    def describe(self) -> str:
+        if self.kind == "value":
+            return f"value: {self.value!r}"
+        if self.kind == "table" and self.table is not None:
+            return f"table with {self.table.num_rows} rows"
+        if self.kind == "plot" and self.plot is not None:
+            return (f"{self.plot.kind} plot of {self.plot.y_label} over "
+                    f"{self.plot.x_label}")
+        return f"error: {self.error}"

@@ -1,0 +1,25 @@
+"""Multi-modal data substrate: datatypes, tables, schemas, and the data lake."""
+
+from repro.data.catalog import DataLake, DataSource, SourceKind
+from repro.data.csvio import read_csv, read_csv_text, write_csv, write_csv_text
+from repro.data.datatypes import DataType, coerce, infer_column_type, infer_type
+from repro.data.schema import ColumnSpec, ForeignKey, Schema
+from repro.data.table import Table
+
+__all__ = [
+    "ColumnSpec",
+    "DataLake",
+    "DataSource",
+    "DataType",
+    "ForeignKey",
+    "Schema",
+    "SourceKind",
+    "Table",
+    "coerce",
+    "infer_column_type",
+    "infer_type",
+    "read_csv",
+    "read_csv_text",
+    "write_csv",
+    "write_csv_text",
+]

@@ -1,0 +1,97 @@
+"""The data lake catalog.
+
+A :class:`DataLake` registers named data sources.  Following the paper,
+non-relational collections (images, texts) are *presented as special tables*:
+an image collection becomes ``table(columns=['img_path': 'str',
+'image': 'IMAGE'])`` and a text collection becomes
+``table(columns=['<id>': ..., '<doc>': 'TEXT'])`` so that they can take part
+in regular joins.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.data.table import Table
+from repro.errors import UnknownTableError
+
+
+class SourceKind(enum.Enum):
+    """What kind of data source a catalog entry wraps."""
+
+    TABLE = "table"
+    IMAGE_COLLECTION = "image_collection"
+    TEXT_COLLECTION = "text_collection"
+
+
+@dataclass
+class DataSource:
+    """One named entry of the data lake."""
+
+    name: str
+    table: Table
+    kind: SourceKind = SourceKind.TABLE
+    description: str = ""
+
+    @property
+    def is_multimodal(self) -> bool:
+        return self.kind is not SourceKind.TABLE
+
+    def prompt_repr(self) -> str:
+        """Schema line for a CAESURA prompt (Figure 3 format)."""
+        return self.table.schema.prompt_repr(self.name, self.table.num_rows)
+
+    def summary_text(self) -> str:
+        """Natural-language summary used for dense retrieval in discovery."""
+        columns = ", ".join(
+            f"{c.name} ({c.dtype.value})" for c in self.table.schema.columns)
+        return (f"{self.name}: {self.description or self.table.schema.description} "
+                f"kind={self.kind.value} columns: {columns}")
+
+
+@dataclass
+class DataLake:
+    """A registry of data sources plus lake-level metadata."""
+
+    name: str = "lake"
+    sources: dict[str, DataSource] = field(default_factory=dict)
+
+    def add(self, source: DataSource) -> "DataLake":
+        self.sources[source.name] = source
+        return self
+
+    def add_table(self, name: str, table: Table, description: str = "",
+                  kind: SourceKind = SourceKind.TABLE) -> "DataLake":
+        return self.add(DataSource(name, table, kind=kind,
+                                   description=description))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.sources
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    @property
+    def source_names(self) -> list[str]:
+        return list(self.sources)
+
+    def source(self, name: str) -> DataSource:
+        if name not in self.sources:
+            raise UnknownTableError(name, self.source_names)
+        return self.sources[name]
+
+    def table(self, name: str) -> Table:
+        return self.source(name).table
+
+    def subset(self, names: list[str]) -> "DataLake":
+        """A lake restricted to *names* (used after discovery)."""
+        lake = DataLake(name=self.name)
+        for name in names:
+            lake.add(self.source(name))
+        return lake
+
+    def prompt_repr(self) -> str:
+        """All schema lines, one per source, for prompt construction."""
+        return "\n".join(f" - {s.prompt_repr()}"
+                         for s in self.sources.values())

@@ -1,0 +1,94 @@
+"""CSV import/export for relational tables.
+
+Modality columns cannot round-trip through CSV; exporting a table writes the
+``repr`` of modality objects and importing always yields relational columns
+(with optional explicit datatypes).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping
+
+from repro.data.datatypes import DataType, coerce
+from repro.data.schema import ColumnSpec, Schema
+from repro.data.table import Table
+
+
+def _parse_cell(text: str) -> object:
+    """Best-effort typed parse of one CSV cell."""
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    return text
+
+
+def read_csv_text(text: str, dtypes: Mapping[str, DataType] | None = None,
+                  description: str = "") -> Table:
+    """Parse CSV *text* (header row required) into a :class:`Table`."""
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        return Table(Schema([], description=description), {})
+    header, *data = rows
+    columns: dict[str, list[object]] = {name: [] for name in header}
+    for row in data:
+        for name, cell in zip(header, row):
+            columns[name].append(_parse_cell(cell))
+    if dtypes:
+        specs = []
+        for name in header:
+            dtype = dtypes.get(name)
+            if dtype is None:
+                from repro.data.datatypes import infer_column_type
+                dtype = infer_column_type(columns[name])
+            else:
+                columns[name] = [coerce(v, dtype) for v in columns[name]]
+            specs.append(ColumnSpec(name, dtype))
+        return Table(Schema(specs, description=description), columns)
+    return Table.infer(columns, description=description)
+
+
+def read_csv(path: str | Path, dtypes: Mapping[str, DataType] | None = None,
+             description: str = "") -> Table:
+    """Read a CSV file into a :class:`Table`."""
+    with open(path, newline="") as handle:
+        return read_csv_text(handle.read(), dtypes=dtypes,
+                             description=description)
+
+
+def write_csv_text(table: Table) -> str:
+    """Serialize *table* to CSV text (modality objects via ``repr``)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(table.column_names)
+    modality = {c.name for c in table.schema.modality_columns}
+    for row in table.rows():
+        cells = []
+        for name in table.column_names:
+            value = row[name]
+            if value is None:
+                cells.append("")
+            elif name in modality:
+                cells.append(repr(value))
+            else:
+                cells.append(str(value))
+        writer.writerow(cells)
+    return buffer.getvalue()
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    with open(path, "w", newline="") as handle:
+        handle.write(write_csv_text(table))

@@ -1,0 +1,114 @@
+"""Table schemas and their serialization into prompts.
+
+The schema serialization format is taken from Figure 3 of the paper::
+
+    paintings_metadata = table(num_rows=7912, columns=['title': 'str', ...],
+                               description='...', foreign_keys=[...])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.datatypes import DataType
+from repro.errors import SchemaError, UnknownColumnError
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Name, datatype, and human description of one column."""
+
+    name: str
+    dtype: DataType
+    description: str = ""
+
+    def prompt_repr(self) -> str:
+        return f"'{self.name}': '{self.dtype.value}'"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A join edge between two tables (``games.team_id -> teams.team_id``)."""
+
+    column: str
+    other_table: str
+    other_column: str
+
+    def prompt_repr(self, table: str) -> str:
+        return (f"{table}.{self.column} = "
+                f"{self.other_table}.{self.other_column}")
+
+
+@dataclass
+class Schema:
+    """Ordered column specifications plus join metadata."""
+
+    columns: list[ColumnSpec]
+    description: str = ""
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+    primary_key: str | None = None
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {', '.join(dupes)}")
+
+    @classmethod
+    def of(cls, *specs: tuple[str, DataType], description: str = "") -> "Schema":
+        """Shorthand: ``Schema.of(('title', DataType.STRING), ...)``."""
+        return cls([ColumnSpec(n, t) for n, t in specs], description=description)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def __contains__(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def column(self, name: str) -> ColumnSpec:
+        for spec in self.columns:
+            if spec.name == name:
+                return spec
+        raise UnknownColumnError(name, self.column_names)
+
+    def dtype(self, name: str) -> DataType:
+        return self.column(name).dtype
+
+    @property
+    def modality_columns(self) -> list[ColumnSpec]:
+        """Columns carrying IMAGE/TEXT objects."""
+        return [c for c in self.columns if c.dtype.is_modality]
+
+    @property
+    def relational_columns(self) -> list[ColumnSpec]:
+        return [c for c in self.columns if not c.dtype.is_modality]
+
+    def with_column(self, spec: ColumnSpec) -> "Schema":
+        """A copy of this schema with one column appended."""
+        return Schema(self.columns + [spec], description=self.description,
+                      foreign_keys=list(self.foreign_keys),
+                      primary_key=self.primary_key)
+
+    def without_columns(self, names: set[str]) -> "Schema":
+        kept = [c for c in self.columns if c.name not in names]
+        return Schema(kept, description=self.description,
+                      foreign_keys=[fk for fk in self.foreign_keys
+                                    if fk.column not in names],
+                      primary_key=(self.primary_key
+                                   if self.primary_key not in names else None))
+
+    def prompt_repr(self, table_name: str, num_rows: int) -> str:
+        """Serialize for a CAESURA prompt (Figure 3 format)."""
+        cols = ", ".join(c.prompt_repr() for c in self.columns)
+        parts = [f"num_rows={num_rows}", f"columns=[{cols}]"]
+        if self.description:
+            parts.append(f"description='{self.description}'")
+        if self.foreign_keys:
+            fks = ", ".join(f"'{fk.prompt_repr(table_name)}'"
+                            for fk in self.foreign_keys)
+            parts.append(f"foreign_keys=[{fks}]")
+        return f"{table_name} = table({', '.join(parts)})"

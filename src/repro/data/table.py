@@ -1,0 +1,266 @@
+"""Column-store table with relational *and* modality columns.
+
+A :class:`Table` is an immutable-by-convention column store.  Relational
+columns hold ``int/float/str/bool/date`` values (or ``None``); modality
+columns (``IMAGE``, ``TEXT``) hold arbitrary Python objects such as rendered
+:class:`repro.vision.image.Image` rasters or long report strings.
+
+All relational operators in :mod:`repro.relational` and all multi-modal
+operators in :mod:`repro.operators` consume and produce ``Table`` values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.data.datatypes import DataType, coerce, infer_column_type
+from repro.data.schema import ColumnSpec, Schema
+from repro.errors import SchemaError, UnknownColumnError
+
+
+class Table:
+    """An ordered collection of equally-long named columns."""
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Sequence[object]]):
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        missing = [c.name for c in schema.columns if c.name not in columns]
+        if missing:
+            raise SchemaError(f"columns missing from data: {', '.join(missing)}")
+        extra = [n for n in columns if n not in schema]
+        if extra:
+            raise SchemaError(f"data columns not in schema: {', '.join(extra)}")
+        self.schema = schema
+        self._columns: dict[str, list[object]] = {
+            spec.name: list(columns[spec.name]) for spec in schema.columns
+        }
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence[object]]) -> "Table":
+        """Build a table from row tuples ordered like ``schema.columns``."""
+        names = schema.column_names
+        columns: dict[str, list[object]] = {name: [] for name in names}
+        for row in rows:
+            if len(row) != len(names):
+                raise SchemaError(
+                    f"row has {len(row)} values, schema has {len(names)} columns")
+            for name, value in zip(names, row):
+                columns[name].append(value)
+        return cls(schema, columns)
+
+    @classmethod
+    def from_dicts(cls, schema: Schema, rows: Iterable[Mapping[str, object]]) -> "Table":
+        """Build a table from row dictionaries (missing keys become ``None``)."""
+        columns: dict[str, list[object]] = {n: [] for n in schema.column_names}
+        for row in rows:
+            for name in columns:
+                columns[name].append(row.get(name))
+        return cls(schema, columns)
+
+    @classmethod
+    def infer(cls, columns: Mapping[str, Sequence[object]],
+              modality_types: Mapping[str, DataType] | None = None,
+              description: str = "") -> "Table":
+        """Build a table inferring relational column types from the data.
+
+        Columns listed in *modality_types* are tagged IMAGE/TEXT instead of
+        being inferred.
+        """
+        modality_types = dict(modality_types or {})
+        specs = []
+        for name, values in columns.items():
+            if name in modality_types:
+                specs.append(ColumnSpec(name, modality_types[name]))
+            else:
+                specs.append(ColumnSpec(name, infer_column_type(list(values))))
+        return cls(Schema(specs, description=description), columns)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        return cls(schema, {name: [] for name in schema.column_names})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.schema.column_names
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    def column(self, name: str) -> list[object]:
+        """The values of one column (a defensive copy is *not* taken)."""
+        if name not in self._columns:
+            raise UnknownColumnError(name, self.column_names)
+        return self._columns[name]
+
+    def dtype(self, name: str) -> DataType:
+        return self.schema.dtype(name)
+
+    def row(self, index: int) -> dict[str, object]:
+        """One row as a name→value dict."""
+        return {name: values[index] for name, values in self._columns.items()}
+
+    def rows(self) -> Iterator[dict[str, object]]:
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    def row_tuples(self) -> Iterator[tuple[object, ...]]:
+        names = self.column_names
+        for i in range(self.num_rows):
+            yield tuple(self._columns[n][i] for n in names)
+
+    # ------------------------------------------------------------------
+    # Row / column algebra (used by the relational engine and operators)
+    # ------------------------------------------------------------------
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """Rows at *indices*, in that order (may repeat / reorder)."""
+        columns = {name: [values[i] for i in indices]
+                   for name, values in self._columns.items()}
+        return Table(self.schema, columns)
+
+    def filter(self, mask: Sequence[bool]) -> "Table":
+        if len(mask) != self.num_rows:
+            raise SchemaError(
+                f"mask length {len(mask)} != num_rows {self.num_rows}")
+        indices = [i for i, keep in enumerate(mask) if keep]
+        return self.take(indices)
+
+    def head(self, n: int = 5) -> "Table":
+        return self.take(list(range(min(n, self.num_rows))))
+
+    def project(self, names: Sequence[str]) -> "Table":
+        specs = [self.schema.column(n) for n in names]
+        schema = Schema(specs, description=self.schema.description)
+        return Table(schema, {n: self._columns[n] for n in names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        for old in mapping:
+            if old not in self._columns:
+                raise UnknownColumnError(old, self.column_names)
+        specs = [ColumnSpec(mapping.get(c.name, c.name), c.dtype, c.description)
+                 for c in self.schema.columns]
+        schema = Schema(specs, description=self.schema.description)
+        columns = {mapping.get(n, n): v for n, v in self._columns.items()}
+        return Table(schema, columns)
+
+    def with_column(self, name: str, dtype: DataType,
+                    values: Sequence[object]) -> "Table":
+        """A copy with one column appended (replaces an existing name)."""
+        if len(values) != self.num_rows:
+            raise SchemaError(
+                f"new column {name!r} has {len(values)} values, "
+                f"table has {self.num_rows} rows")
+        if name in self._columns:
+            base = self.project([c for c in self.column_names if c != name])
+        else:
+            base = self
+        schema = base.schema.with_column(ColumnSpec(name, dtype))
+        columns = dict(base._columns)
+        columns[name] = list(values)
+        return Table(schema, columns)
+
+    def map_column(self, source: str, target: str, dtype: DataType,
+                   fn: Callable[[object], object]) -> "Table":
+        """Append column *target* computed row-wise from column *source*."""
+        values = [None if v is None else fn(v) for v in self.column(source)]
+        return self.with_column(target, dtype, values)
+
+    def coerced(self) -> "Table":
+        """A copy with every relational value coerced to its column dtype."""
+        columns = {}
+        for spec in self.schema.columns:
+            values = self._columns[spec.name]
+            if spec.dtype.is_modality:
+                columns[spec.name] = list(values)
+            else:
+                columns[spec.name] = [coerce(v, spec.dtype) for v in values]
+        return Table(self.schema, columns)
+
+    def concat(self, other: "Table") -> "Table":
+        """Rows of *other* appended (schemas must have identical columns)."""
+        if self.column_names != other.column_names:
+            raise SchemaError("cannot concat tables with different columns")
+        columns = {n: self._columns[n] + other._columns[n]
+                   for n in self.column_names}
+        return Table(self.schema, columns)
+
+    # ------------------------------------------------------------------
+    # Display / comparison helpers
+    # ------------------------------------------------------------------
+
+    def sample_values(self, name: str, limit: int = 3) -> list[object]:
+        """Up to *limit* distinct non-null example values of a column.
+
+        Used by prompt construction ("These are some relevant values...").
+        """
+        seen: list[object] = []
+        for value in self.column(name):
+            if value is None:
+                continue
+            display = value if not self.dtype(name).is_modality else repr(value)
+            if display not in seen:
+                seen.append(display)
+            if len(seen) >= limit:
+                break
+        return seen
+
+    def to_display(self, max_rows: int = 10, max_width: int = 20) -> str:
+        """A plain-text rendering for logs, examples, and observations."""
+
+        def fmt(value: object) -> str:
+            text = "NULL" if value is None else str(value)
+            if len(text) > max_width:
+                text = text[:max_width - 1] + "…"
+            return text
+
+        names = self.column_names
+        shown = list(self.head(max_rows).row_tuples())
+        widths = [len(n) for n in names]
+        rendered = [[fmt(v) for v in row] for row in shown]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [" | ".join(n.ljust(w) for n, w in zip(names, widths))]
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in rendered:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.num_rows > max_rows:
+            lines.append(f"... ({self.num_rows} rows total)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name}:{c.dtype.value}" for c in self.schema.columns)
+        return f"Table({self.num_rows} rows, [{cols}])"
+
+    def equals(self, other: "Table", ignore_order: bool = False) -> bool:
+        """Structural equality on column names and values (not descriptions)."""
+        if self.column_names != other.column_names:
+            return False
+        mine = list(self.row_tuples())
+        theirs = list(other.row_tuples())
+        if ignore_order:
+            key = repr
+            return sorted(mine, key=key) == sorted(theirs, key=key)
+        return mine == theirs

@@ -1,0 +1,16 @@
+"""Synthetic multi-modal datasets mirroring the paper's two workloads."""
+
+from repro.datasets.artwork import (ArtworkDataset, GENRE_OBJECT_POOLS,
+                                    MOVEMENT_ERAS, generate_artwork_dataset)
+from repro.datasets.rotowire import (RotowireDataset, TEAMS,
+                                     generate_rotowire_dataset)
+
+__all__ = [
+    "ArtworkDataset",
+    "GENRE_OBJECT_POOLS",
+    "MOVEMENT_ERAS",
+    "RotowireDataset",
+    "TEAMS",
+    "generate_artwork_dataset",
+    "generate_rotowire_dataset",
+]

@@ -1,0 +1,150 @@
+"""The artwork dataset (tables + images), Wikidata-style.
+
+Mirrors the paper's first dataset: a ``paintings_metadata`` table (title,
+artist, inception, movement, genre, img_path) extracted "for all Wikidata
+entities that are instances of 'painting'", plus a ``painting_images``
+collection presented as a special two-column table (img_path, image).
+
+The generator is fully synthetic and seeded.  Scene contents are drawn from
+genre-correlated object pools, but titles are sampled *independently* of the
+actual scene so that answering "what is depicted" from the title column is
+genuinely wrong (the paper's *Data Misunderstanding* failure of
+ChatGPT-3.5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import date
+
+from repro.data import (ColumnSpec, DataLake, DataSource, DataType,
+                        ForeignKey, Schema, SourceKind, Table)
+from repro.vision import Image, SceneSpec, build_scene, render_scene
+
+MOVEMENT_ERAS = {
+    "Renaissance": (1420, 1600),
+    "Baroque": (1600, 1750),
+    "Romanticism": (1750, 1850),
+    "Impressionism": (1850, 1900),
+    "Expressionism": (1900, 1950),
+}
+
+GENRE_OBJECT_POOLS = {
+    "religious art": ["madonna", "child", "halo", "cross", "angel"],
+    "portrait": ["crown", "sword", "dog", "skull"],
+    "landscape": ["tree", "mountain", "sun", "boat"],
+    "still life": ["flower", "skull", "bird"],
+    "history painting": ["sword", "horse", "crown", "boat"],
+}
+
+_TITLE_HEADS = ("Madonna", "Landscape", "Portrait", "Study", "Allegory",
+                "Vision", "Scene", "Morning", "Evening", "The Garden",
+                "The Battle", "Still Life", "The Harbor", "The Feast")
+_TITLE_TAILS = ("of the Meadow", "with Saints", "at Dusk", "in Blue",
+                "of a Nobleman", "of the North", "by the Sea", "in Spring",
+                "of the Rocks", "with Flowers", "of Victory", "at the Gate")
+
+_ARTIST_FIRST = ("Giovanni", "Pieter", "Claude", "Artemisia", "Diego",
+                 "Élisabeth", "Caspar", "Berthe", "Edvard", "Sofonisba")
+_ARTIST_LAST = ("Bellini", "Bruegel", "Moreau", "Gentileschi", "Velázquez",
+                "Vigée", "Friedrich", "Morisot", "Munch", "Anguissola")
+
+
+@dataclass
+class ArtworkDataset:
+    """Generated tables, images, and per-image ground-truth scenes."""
+
+    metadata: Table
+    images: Table
+    scenes: dict[str, SceneSpec]
+    seed: int
+
+    def as_lake(self) -> DataLake:
+        """Package both sources as a data lake (the planner's view)."""
+        lake = DataLake(name="artwork")
+        lake.add(DataSource(
+            "paintings_metadata", self.metadata, kind=SourceKind.TABLE,
+            description=("Metadata about paintings exhibited in the museum: "
+                         "title, artist, inception date, art movement, genre "
+                         "and the path of the painting's image.")))
+        lake.add(DataSource(
+            "painting_images", self.images, kind=SourceKind.IMAGE_COLLECTION,
+            description=("Digitized images of the paintings; one row per "
+                         "painting image.")))
+        return lake
+
+    def scene_of(self, img_path: str) -> SceneSpec:
+        return self.scenes[img_path]
+
+
+def generate_artwork_dataset(num_paintings: int = 120, seed: int = 7,
+                             image_size: int = 64) -> ArtworkDataset:
+    """Generate a seeded artwork dataset of *num_paintings* paintings."""
+    rng = random.Random(seed)
+    movements = list(MOVEMENT_ERAS)
+    genres = list(GENRE_OBJECT_POOLS)
+
+    titles, artists, inceptions = [], [], []
+    chosen_movements, chosen_genres, img_paths = [], [], []
+    image_objects: list[Image] = []
+    scenes: dict[str, SceneSpec] = {}
+
+    for index in range(num_paintings):
+        movement = rng.choice(movements)
+        genre = rng.choice(genres)
+        year_low, year_high = MOVEMENT_ERAS[movement]
+        year = rng.randint(year_low, year_high - 1)
+        month = rng.randint(1, 12)
+        day = rng.randint(1, 28)
+        inception = date(year, month, day).isoformat()
+
+        # Title sampled independently of the scene (see module docstring).
+        title = f"{rng.choice(_TITLE_HEADS)} {rng.choice(_TITLE_TAILS)}"
+        artist = f"{rng.choice(_ARTIST_FIRST)} {rng.choice(_ARTIST_LAST)}"
+        img_path = f"img/{index + 1}.png"
+
+        pool = GENRE_OBJECT_POOLS[genre]
+        object_counts: dict[str, int] = {}
+        for category in rng.sample(pool, k=rng.randint(1, min(3, len(pool)))):
+            object_counts[category] = rng.randint(1, 3)
+        scene = build_scene(object_counts, seed=rng.randrange(2 ** 31),
+                            width=image_size, height=image_size)
+        scenes[img_path] = scene
+        image_objects.append(render_scene(scene, path=img_path))
+
+        titles.append(title)
+        artists.append(artist)
+        inceptions.append(inception)
+        chosen_movements.append(movement)
+        chosen_genres.append(genre)
+        img_paths.append(img_path)
+
+    metadata_schema = Schema(
+        [ColumnSpec("title", DataType.STRING, "title of the painting"),
+         ColumnSpec("artist", DataType.STRING, "name of the painter"),
+         ColumnSpec("inception", DataType.STRING,
+                    "date the painting was created, as YYYY-MM-DD"),
+         ColumnSpec("movement", DataType.STRING,
+                    "art movement the painting belongs to"),
+         ColumnSpec("genre", DataType.STRING, "genre of the painting"),
+         ColumnSpec("img_path", DataType.STRING,
+                    "path of the painting's image file")],
+        description="metadata of the paintings in the museum",
+        foreign_keys=[ForeignKey("img_path", "painting_images", "img_path")])
+    metadata = Table(metadata_schema, {
+        "title": titles, "artist": artists, "inception": inceptions,
+        "movement": chosen_movements, "genre": chosen_genres,
+        "img_path": img_paths,
+    })
+
+    images_schema = Schema(
+        [ColumnSpec("img_path", DataType.STRING, "path of the image file"),
+         ColumnSpec("image", DataType.IMAGE, "the painting image")],
+        description="images of the paintings",
+        foreign_keys=[ForeignKey("img_path", "paintings_metadata",
+                                 "img_path")])
+    images = Table(images_schema,
+                   {"img_path": img_paths, "image": image_objects})
+    return ArtworkDataset(metadata=metadata, images=images, scenes=scenes,
+                          seed=seed)

@@ -1,0 +1,78 @@
+"""Chat-message interface between CAESURA and the (simulated) LLM.
+
+CAESURA talks to the model exclusively through rendered chat prompts — the
+same contract as a remote GPT-4 endpoint.  Any object implementing
+:class:`LanguageModel` can be plugged in.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+
+class Role(enum.Enum):
+    SYSTEM = "system"
+    HUMAN = "human"
+    AI = "ai"
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One message of a chat prompt."""
+
+    role: Role
+    content: str
+
+    def render(self) -> str:
+        return f"{self.role.value.capitalize()}: {self.content}"
+
+
+def system(content: str) -> ChatMessage:
+    return ChatMessage(Role.SYSTEM, content)
+
+
+def human(content: str) -> ChatMessage:
+    return ChatMessage(Role.HUMAN, content)
+
+
+def ai(content: str) -> ChatMessage:
+    return ChatMessage(Role.AI, content)
+
+
+@runtime_checkable
+class LanguageModel(Protocol):
+    """The minimal LLM contract CAESURA depends on."""
+
+    name: str
+
+    def complete(self, messages: list[ChatMessage]) -> str:
+        """Return the model's reply to the rendered chat prompt."""
+        ...
+
+
+@dataclass
+class TranscriptEntry:
+    """One prompt/response exchange, kept for inspection and tests."""
+
+    label: str
+    messages: list[ChatMessage]
+    response: str
+
+
+@dataclass
+class Transcript:
+    """Ordered record of every LLM call made while answering a query."""
+
+    entries: list[TranscriptEntry] = field(default_factory=list)
+
+    def record(self, label: str, messages: list[ChatMessage],
+               response: str) -> None:
+        self.entries.append(TranscriptEntry(label, list(messages), response))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def labels(self) -> list[str]:
+        return [entry.label for entry in self.entries]

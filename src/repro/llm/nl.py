@@ -1,0 +1,535 @@
+"""Natural-language query understanding for the simulated LLM.
+
+This module is the "reasoning" core of the simulated planner: it parses a
+natural-language request against the table schemas recovered from the prompt
+into a structured :class:`QueryIntent` (output kind, grouping, measure,
+filters, projections).  It is a *general* rule-based semantic parser — it
+works from linguistic patterns and schema matching, never from a lookup of
+known benchmark queries.
+
+The plan synthesizer (:mod:`repro.llm.brain`) turns intents into logical
+plans; model profiles may then corrupt those plans in the
+category-characteristic ways of Table 2.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.parsing import PromptTable
+from repro.errors import LLMError
+from repro.vision.scene import categories_in_phrase
+
+# ----------------------------------------------------------------------
+# Intent data structures
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GroupKey:
+    """The grouping requested by "for each X" / "per X" phrases."""
+
+    noun: str
+    table: str | None = None
+    column: str | None = None
+    derive: str | None = None          # century | decade | year
+    source_column: str | None = None   # date column the derivation reads
+
+
+@dataclass
+class RelationalFilter:
+    """A predicate over a relational column (possibly a derived one)."""
+
+    column: str
+    op: str                      # = != > >= < <= contains
+    value: object
+    table: str | None = None
+    derive: str | None = None    # filter applies to a derived column
+    source_column: str | None = None
+
+
+@dataclass
+class DepictsFilter:
+    """Keep only rows whose image depicts all listed categories."""
+
+    categories: list[str]
+
+
+@dataclass
+class Measure:
+    """What is being aggregated / reported."""
+
+    kind: str            # count_rows | column | vqa_count | text_stat | outcome
+    agg: str             # count | count_distinct | sum | avg | min | max
+    column: str | None = None     # kind == column
+    table: str | None = None
+    category: str | None = None   # kind == vqa_count
+    stat: str | None = None       # kind == text_stat: points/rebounds/assists
+    outcome: str | None = None    # kind == outcome: won | lost
+    derive: str | None = None     # measure over a derived column
+    source_column: str | None = None
+
+
+@dataclass
+class QueryIntent:
+    """Structured understanding of one natural-language query."""
+
+    query: str
+    output_kind: str                  # value | table | plot
+    plot_kind: str = "bar"
+    subject: str = ""                 # paintings | teams | players | games
+    subject_table: str | None = None
+    group_by: GroupKey | None = None
+    measure: Measure | None = None
+    filters: list[object] = field(default_factory=list)
+    select_columns: list[tuple[str, str]] = field(default_factory=list)
+    superlative: tuple[str, str, str] | None = None  # (agg, by, target col)
+    distinct: bool = False
+
+    @property
+    def needs_images(self) -> bool:
+        if any(isinstance(f, DepictsFilter) for f in self.filters):
+            return True
+        return self.measure is not None and self.measure.kind == "vqa_count"
+
+    @property
+    def needs_text(self) -> bool:
+        return (self.measure is not None
+                and self.measure.kind in ("text_stat", "outcome"))
+
+    @property
+    def is_multimodal(self) -> bool:
+        return self.needs_images or self.needs_text
+
+
+# ----------------------------------------------------------------------
+# Lexicons
+# ----------------------------------------------------------------------
+
+_AGG_WORDS = [
+    ("maximum", "max"), ("highest", "max"), ("largest", "max"),
+    ("most recent", "max"), ("latest", "max"),
+    ("minimum", "min"), ("lowest", "min"), ("smallest", "min"),
+    ("earliest", "min"), ("oldest", "min"),
+    ("average", "avg"), ("mean", "avg"),
+    ("total", "sum"), ("sum of", "sum"),
+]
+
+_DERIVED_NOUNS = {"century": "century", "centuries": "century",
+                  "decade": "decade", "decades": "decade",
+                  "year": "year", "years": "year"}
+
+_STAT_WORDS = {"points": "points", "point": "points",
+               "rebounds": "rebounds", "rebound": "rebounds",
+               "assists": "assists", "assist": "assists"}
+
+_SUBJECT_TABLES = {
+    "painting": "paintings_metadata", "paintings": "paintings_metadata",
+    "artwork": "paintings_metadata", "artworks": "paintings_metadata",
+    "team": "teams", "teams": "teams",
+    "player": "players", "players": "players",
+    "game": "games", "games": "games",
+}
+
+_COLUMN_SYNONYMS = {
+    "title": "title", "titles": "title",
+    "name": "name", "names": "name",
+    "artist": "artist", "artists": "artist",
+    "painter": "artist", "painters": "artist",
+    "inception": "inception", "inceptions": "inception",
+    "movement": "movement", "movements": "movement",
+    "genre": "genre", "genres": "genre",
+    "conference": "conference", "conferences": "conference",
+    "division": "division", "divisions": "division",
+    "nationality": "nationality", "nationalities": "nationality",
+    "position": "position", "positions": "position",
+    "height": "height_cm", "heights": "height_cm",
+    "team": "team", "city": "city", "cities": "city",
+}
+
+_DATE_COLUMNS = ("inception", "date", "created")
+
+
+# ----------------------------------------------------------------------
+# Schema helpers
+# ----------------------------------------------------------------------
+
+
+def _find_column(tables: dict[str, PromptTable],
+                 column: str) -> tuple[str, str] | None:
+    """Locate *column* in the schema; returns (table, column)."""
+    for table in tables.values():
+        if column in table.column_names:
+            return table.name, column
+    return None
+
+
+def _date_column(tables: dict[str, PromptTable]) -> tuple[str, str] | None:
+    """The column the century/year/decade derivations read from."""
+    for candidate in _DATE_COLUMNS:
+        located = _find_column(tables, candidate)
+        if located:
+            return located
+    return None
+
+
+def resolve_noun(noun: str,
+                 tables: dict[str, PromptTable]) -> tuple[str, str] | None:
+    """Resolve a surface noun to (table, column) via synonyms + schema."""
+    lowered = noun.strip().lower()
+    mapped = _COLUMN_SYNONYMS.get(lowered, lowered)
+    located = _find_column(tables, mapped)
+    if located:
+        return located
+    if lowered.endswith("s"):
+        singular = _COLUMN_SYNONYMS.get(lowered[:-1], lowered[:-1])
+        located = _find_column(tables, singular)
+        if located:
+            return located
+    return None
+
+
+# ----------------------------------------------------------------------
+# The parser
+# ----------------------------------------------------------------------
+
+_GROUP_RES = [
+    re.compile(r"\bfor\s+(?:each|every)\s+(?P<noun>[a-z_ ]+?)(?:[,.!?]|$)",
+               re.IGNORECASE),
+    re.compile(r"\b(?:in|of|across|during|for)\s+each\s+(?P<noun>[a-z_]+)",
+               re.IGNORECASE),
+    re.compile(r"\bper\s+(?P<noun>[a-z_]+)", re.IGNORECASE),
+    re.compile(r"\bby\s+each\s+(?P<noun>[a-z_]+)", re.IGNORECASE),
+    re.compile(r"\b(?:scored|won|lost|grabbed|handed out|depicted)\s+by\s+"
+               r"each\s+(?P<noun>[a-z_]+)", re.IGNORECASE),
+]
+
+_LIST_RE = re.compile(
+    r"\blist\s+the\s+(?P<cols>[a-z_ ]+?)\s+of\b", re.IGNORECASE)
+_WHICH_RE = re.compile(r"\bwhich\s+(?P<subject>[a-z_]+)\b", re.IGNORECASE)
+
+_DEPICT_FILTER_RE = re.compile(
+    r"(?:depicting|that\s+depicts?|which\s+depicts?|showing|that\s+shows?)"
+    r"\s+(?:both\s+)?(?P<phrase>[\w ,']+?)(?:\s+for\s+each|\s+in\s+each|"
+    r"\s+of\s+each|\s*[,.!?]|$)", re.IGNORECASE)
+
+_DEPICTED_COUNT_RE = re.compile(
+    r"number of\s+(?P<noun>[\w ]+?)\s+depicted", re.IGNORECASE)
+
+_TEXT_STAT_RE = re.compile(
+    r"(?:number of\s+)?(?P<stat>points|rebounds|assists)\b"
+    r".{0,40}?\b(?:scored|grabbed|handed out|recorded|they scored|"
+    r"did .* (?:score|grab|record))", re.IGNORECASE)
+
+_OUTCOME_RE = re.compile(
+    r"games?\s+(?:did\s+.*?\s+|.*?\s+)?(?P<outcome>won|win|lost|lose)",
+    re.IGNORECASE)
+
+_NUMBER_OF_RE = re.compile(r"(?:number of|how many)\s+(?P<noun>[\w ]+?)"
+                           r"(?:\s+(?:are|is|were|was|did|do|does|that|who|"
+                           r"which|they|depicting|depicted|in|for|with|from|"
+                           r"belong|created|painted|scored|taller|shorter)"
+                           r"\b|[,.!?]|$)",
+                           re.IGNORECASE)
+
+
+def _detect_output_kind(query: str, has_group: bool) -> str:
+    lowered = query.strip().lower()
+    if re.match(r"^(plot|draw|chart|visuali[sz]e|graph)\b", lowered):
+        return "plot"
+    if re.search(r"\b(as a|in a)\s+(bar\s+)?(plot|chart|graph)\b", lowered):
+        return "plot"
+    if lowered.startswith("list") or lowered.startswith("which"):
+        return "table"
+    if has_group:
+        return "table"
+    return "value"
+
+
+def _detect_aggregate(query: str) -> str | None:
+    lowered = query.lower()
+    best: tuple[int, str] | None = None
+    for word, agg in _AGG_WORDS:
+        position = lowered.find(word)
+        if position >= 0 and (best is None or position < best[0]):
+            best = (position, agg)
+    return best[1] if best else None
+
+
+def _parse_group(query: str,
+                 tables: dict[str, PromptTable]) -> GroupKey | None:
+    for pattern in _GROUP_RES:
+        match = pattern.search(query)
+        if match is None:
+            continue
+        noun = match.group("noun").strip().lower()
+        # Trim to the head noun ("team, what is ..." → "team").
+        noun = re.split(r"[,.!?]", noun)[0].strip()
+        if noun in _DERIVED_NOUNS:
+            date_col = _date_column(tables)
+            if date_col is None:
+                continue
+            return GroupKey(noun=noun, table=date_col[0],
+                            column=None, derive=_DERIVED_NOUNS[noun],
+                            source_column=date_col[1])
+        if noun in ("team", "teams") and "teams" in tables:
+            return GroupKey(noun=noun, table="teams", column="name")
+        if noun in ("player", "players") and "players" in tables:
+            return GroupKey(noun=noun, table="players", column="name")
+        located = resolve_noun(noun, tables)
+        if located:
+            return GroupKey(noun=noun, table=located[0], column=located[1])
+    return None
+
+
+def _parse_filters(query: str, tables: dict[str, PromptTable],
+                   intent: QueryIntent) -> list[object]:
+    filters: list[object] = []
+    lowered = query.lower()
+
+    match = re.search(r"in the (\w+) conference", lowered)
+    if match and _find_column(tables, "conference"):
+        filters.append(RelationalFilter("conference", "=",
+                                        match.group(1).capitalize(),
+                                        table="teams"))
+    match = re.search(r"in the (\w+) division", lowered)
+    if match and _find_column(tables, "division"):
+        filters.append(RelationalFilter("division", "=",
+                                        match.group(1).capitalize(),
+                                        table="teams"))
+    match = re.search(r"taller than (\d+)", lowered)
+    if match and _find_column(tables, "height_cm"):
+        filters.append(RelationalFilter("height_cm", ">",
+                                        int(match.group(1)),
+                                        table="players"))
+    match = re.search(r"shorter than (\d+)", lowered)
+    if match and _find_column(tables, "height_cm"):
+        filters.append(RelationalFilter("height_cm", "<",
+                                        int(match.group(1)),
+                                        table="players"))
+    match = re.search(r"players? from ([a-z]+)", lowered)
+    if match and _find_column(tables, "nationality"):
+        filters.append(RelationalFilter("nationality", "=",
+                                        match.group(1).capitalize(),
+                                        table="players"))
+    match = re.search(r"(?:of|belong(?:ing|s)? to) the '?([\w ]+?)'? "
+                      r"movement", query, re.IGNORECASE)
+    if match and _find_column(tables, "movement"):
+        filters.append(RelationalFilter("movement", "=",
+                                        match.group(1).strip(),
+                                        table="paintings_metadata"))
+    match = re.search(r"painted by ([A-Z][\w]+(?: [A-Z][\w]+)*)", query)
+    if match and _find_column(tables, "artist"):
+        filters.append(RelationalFilter("artist", "=", match.group(1),
+                                        table="paintings_metadata"))
+    match = re.search(r"\b(still life|religious art|landscape|portrait|"
+                      r"history painting)\s+paintings", lowered)
+    if match and _find_column(tables, "genre"):
+        filters.append(RelationalFilter("genre", "=", match.group(1),
+                                        table="paintings_metadata"))
+    match = re.search(r"created (after|before|since) (\d{4})", lowered)
+    if match:
+        date_col = _date_column(tables)
+        if date_col:
+            op = ">" if match.group(1) in ("after", "since") else "<"
+            filters.append(RelationalFilter(
+                "year", op, int(match.group(2)), table=date_col[0],
+                derive="year", source_column=date_col[1]))
+    match = re.search(r"in game (\d+)", lowered)
+    if match and _find_column(tables, "game_id"):
+        filters.append(RelationalFilter("game_id", "=", int(match.group(1)),
+                                        table="game_reports"))
+
+    # Depicts-filter ("paintings depicting Madonna and Child").  Applies
+    # when the depicted noun is an object category, not when we are
+    # *counting* depicted objects (that is a vqa_count measure).
+    depicted_count = _DEPICTED_COUNT_RE.search(query)
+    counted_noun = (depicted_count.group("noun").strip().lower()
+                    if depicted_count else None)
+    counted_is_category = bool(counted_noun
+                               and categories_in_phrase(counted_noun))
+    match = _DEPICT_FILTER_RE.search(query)
+    if match and not counted_is_category:
+        categories = categories_in_phrase(match.group("phrase"))
+        if categories:
+            filters.append(DepictsFilter([c.name for c in categories]))
+
+    # Team-name mention ("the Heat") as an equality filter, only for
+    # rotowire-style schemas and only when no grouping is requested.
+    if ("teams" in tables and intent.group_by is None):
+        for word in re.findall(r"\bthe ([A-Z][a-z]+)\b", query):
+            if word in ("Eastern", "Western"):
+                continue
+            located = _find_column(tables, "conference")
+            if located and word.lower() in ("conference", "division"):
+                continue
+            # Heuristic: a capitalized noun right after "the" that is not a
+            # schema word is read as a team name.
+            if word.lower() not in _COLUMN_SYNONYMS and \
+                    not categories_in_phrase(word):
+                filters.append(RelationalFilter("name", "=", word,
+                                                table="teams"))
+                break
+    return filters
+
+
+def _parse_measure(query: str, tables: dict[str, PromptTable],
+                   intent: QueryIntent) -> Measure | None:
+    agg = _detect_aggregate(query)
+    lowered = query.lower()
+
+    match = _OUTCOME_RE.search(query)
+    if match:
+        outcome = match.group("outcome").lower()
+        outcome = {"win": "won", "lose": "lost"}.get(outcome, outcome)
+        return Measure(kind="outcome", agg="count", outcome=outcome)
+
+    match = _TEXT_STAT_RE.search(query)
+    if match and "game_reports" in tables:
+        stat = _STAT_WORDS[match.group("stat").lower()]
+        return Measure(kind="text_stat", agg=agg or "sum", stat=stat)
+
+    match = _DEPICTED_COUNT_RE.search(query)
+    if match:
+        categories = categories_in_phrase(match.group("noun"))
+        if categories:
+            return Measure(kind="vqa_count", agg=agg or "sum",
+                           category=categories[0].name)
+
+    match = _NUMBER_OF_RE.search(query)
+    if match:
+        noun = match.group("noun").strip().lower()
+        head = noun.split()[-1] if noun else ""
+        if "distinct" in noun:
+            target = noun.replace("distinct", "").strip()
+            located = resolve_noun(target, tables)
+            if located is None and target in ("game", "games"):
+                located = _find_column(tables, "game_id")
+            if located:
+                return Measure(kind="column", agg="count_distinct",
+                               column=located[1], table=located[0])
+        if head in _SUBJECT_TABLES or head in ("rows", "images", "reports"):
+            return Measure(kind="count_rows", agg="count")
+        categories = categories_in_phrase(head)
+        if categories:
+            return Measure(kind="vqa_count", agg=agg or "sum",
+                           category=categories[0].name)
+        located = resolve_noun(head, tables)
+        if located:
+            return Measure(kind="column", agg="count", column=located[1],
+                           table=located[0])
+        return Measure(kind="count_rows", agg="count")
+
+    # Aggregates over plain columns ("the average height of all players",
+    # "the earliest inception date").
+    if agg:
+        for noun, column in _COLUMN_SYNONYMS.items():
+            if re.search(rf"\b{re.escape(noun)}\b", lowered):
+                located = _find_column(tables, column)
+                if located:
+                    return Measure(kind="column", agg=agg, column=located[1],
+                                   table=located[0])
+        date_col = _date_column(tables)
+        if date_col and re.search(r"\b(date|inception)\b", lowered):
+            return Measure(kind="column", agg=agg, column=date_col[1],
+                           table=date_col[0])
+    return None
+
+
+_SUPERLATIVES = {
+    "tallest": ("max", "height_cm"),
+    "shortest": ("min", "height_cm"),
+    "most recent": ("max", "inception"),
+    "oldest": ("min", "inception"),
+    "newest": ("max", "inception"),
+}
+
+
+def _parse_superlative(query: str, tables: dict[str, PromptTable],
+                       ) -> tuple[str, str, str] | None:
+    lowered = query.lower()
+    for word, (agg, column) in _SUPERLATIVES.items():
+        if word not in lowered:
+            continue
+        if _find_column(tables, column) is None:
+            continue
+        target_match = re.search(
+            r"(?:what is|what was|who is|who was) the "
+            r"(?P<target>[a-z_]+) of", lowered)
+        target = None
+        if target_match:
+            resolved = resolve_noun(target_match.group("target"), tables)
+            if resolved:
+                target = resolved[1]
+        if target is None:
+            for candidate in ("name", "title"):
+                if _find_column(tables, candidate):
+                    target = candidate
+                    break
+        if target:
+            return (agg, column, target)
+    return None
+
+
+def _parse_subject(query: str, tables: dict[str, PromptTable],
+                   ) -> tuple[str, str | None]:
+    lowered = query.lower()
+    for noun, table in _SUBJECT_TABLES.items():
+        if re.search(rf"\b{noun}\b", lowered) and table in tables:
+            return noun, table
+    # Default to the largest base table in the schema.
+    if tables:
+        biggest = max(tables.values(), key=lambda t: t.num_rows)
+        return biggest.name, biggest.name
+    return "", None
+
+
+def _parse_select_columns(query: str, tables: dict[str, PromptTable],
+                          ) -> list[tuple[str, str]]:
+    match = _LIST_RE.search(query)
+    if match is None:
+        return []
+    columns: list[tuple[str, str]] = []
+    for part in re.split(r",| and ", match.group("cols")):
+        part = part.strip()
+        if not part or part in ("all",):
+            continue
+        located = resolve_noun(part, tables)
+        if located and located not in columns:
+            columns.append(located)
+    return columns
+
+
+def parse_query(query: str, tables: dict[str, PromptTable]) -> QueryIntent:
+    """Parse *query* against *tables* into a :class:`QueryIntent`.
+
+    Raises :class:`repro.errors.LLMError` when the query is completely
+    outside the parser's grammar (the simulated model "does not understand"
+    the request).
+    """
+    if not query or not query.strip():
+        raise LLMError("empty query")
+    query = query.strip()
+
+    intent = QueryIntent(query=query, output_kind="value")
+    intent.subject, intent.subject_table = _parse_subject(query, tables)
+    intent.group_by = _parse_group(query, tables)
+    intent.output_kind = _detect_output_kind(query,
+                                             intent.group_by is not None)
+    intent.filters = _parse_filters(query, tables, intent)
+    intent.measure = _parse_measure(query, tables, intent)
+    intent.select_columns = _parse_select_columns(query, tables)
+    intent.superlative = _parse_superlative(query, tables)
+    intent.distinct = "distinct" in query.lower()
+
+    if (intent.measure is None and not intent.select_columns
+            and intent.superlative is None):
+        if intent.output_kind in ("plot", "table") and intent.group_by:
+            # "Plot the paintings per movement" style: default to counting.
+            intent.measure = Measure(kind="count_rows", agg="count")
+        else:
+            raise LLMError(
+                f"the simulated model cannot derive an intent from "
+                f"{query!r}")
+    return intent

@@ -1,0 +1,28 @@
+"""Physical operators: SQL, VisualQA, ImageSelect, TextQA, Python, Plot."""
+
+from repro.operators.base import (ExecutionContext, OperatorCard,
+                                  OperatorResult, PhysicalOperator, all_cards,
+                                  build_operator, operator_names,
+                                  register_operator)
+from repro.operators.plot import PlotOperator
+from repro.operators.python_udf import PythonOperator
+from repro.operators.sql_ops import SQLOperator
+from repro.operators.text_qa import TextQAOperator
+from repro.operators.visual_qa import ImageSelectOperator, VisualQAOperator
+
+__all__ = [
+    "ExecutionContext",
+    "ImageSelectOperator",
+    "OperatorCard",
+    "OperatorResult",
+    "PhysicalOperator",
+    "PlotOperator",
+    "PythonOperator",
+    "SQLOperator",
+    "TextQAOperator",
+    "VisualQAOperator",
+    "all_cards",
+    "build_operator",
+    "operator_names",
+    "register_operator",
+]

@@ -1,0 +1,120 @@
+"""Physical operator framework.
+
+Every physical operator consumes an :class:`ExecutionContext` (the named
+tables produced so far plus the ML model instances) and the argument tuple
+chosen by the mapping phase, and produces an :class:`OperatorResult`: an
+output table (or plot) plus an *observation* string that is fed back into
+the next mapping prompt — the interleaved-execution feedback loop of
+Figure 2.
+
+New operators register themselves via :func:`register_operator`; their
+*card* (name, purpose, argument format) is injected into the mapping prompt,
+which is how the paper plugs in new modalities "as long as we provide all
+necessary information about their behavior in the prompt".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.data.table import Table
+from repro.errors import OperatorError, UnknownTableError
+from repro.plotting.spec import PlotSpec
+from repro.text.qa import BartQASim
+from repro.vision.blip import Blip2Sim
+
+
+@dataclass
+class ExecutionContext:
+    """Mutable state threaded through interleaved plan execution."""
+
+    tables: dict[str, Table] = field(default_factory=dict)
+    vision_model: Blip2Sim = field(default_factory=Blip2Sim)
+    text_model: BartQASim = field(default_factory=BartQASim)
+
+    def resolve(self, name: str) -> Table:
+        if name not in self.tables:
+            raise UnknownTableError(name, list(self.tables))
+        return self.tables[name]
+
+    def bind(self, name: str, table: Table) -> None:
+        self.tables[name] = table
+
+
+@dataclass
+class OperatorResult:
+    """Output of one physical operator execution."""
+
+    table: Table | None = None
+    plot: PlotSpec | None = None
+    observation: str = ""
+
+
+@dataclass(frozen=True)
+class OperatorCard:
+    """Prompt-facing description of an operator (Figure 3, right side)."""
+
+    name: str
+    purpose: str
+    argument_format: str
+
+    def prompt_repr(self) -> str:
+        return (f"{self.name}: {self.purpose}\n"
+                f"   Arguments: {self.argument_format}")
+
+
+class PhysicalOperator:
+    """Base class for physical operators."""
+
+    card: OperatorCard
+
+    def run(self, context: ExecutionContext, args: list[str]) -> OperatorResult:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return self.card.name
+
+    def require_args(self, args: list[str], count: int) -> list[str]:
+        """Validate the argument count; error text mirrors what an LLM would
+        see from a crashed tool call."""
+        if len(args) != count:
+            raise OperatorError(
+                f"{self.name} expects {count} arguments "
+                f"{self.card.argument_format}, got {len(args)}: "
+                f"({'; '.join(args)})",
+                operator=self.name)
+        return [a.strip() for a in args]
+
+
+_REGISTRY: dict[str, Callable[[], PhysicalOperator]] = {}
+
+
+def register_operator(factory: Callable[[], PhysicalOperator]) -> None:
+    operator = factory()
+    _REGISTRY[operator.name.lower()] = factory
+
+
+def operator_names() -> list[str]:
+    return [factory().name for factory in _REGISTRY.values()]
+
+
+def build_operator(name: str) -> PhysicalOperator:
+    """Instantiate an operator by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        # tolerate the model writing e.g. "SQL (Join)" for "SQL"
+        for registered in _REGISTRY:
+            if key.startswith(registered) or registered.startswith(key):
+                key = registered
+                break
+        else:
+            raise OperatorError(
+                f"unknown operator {name!r}; available: "
+                f"{', '.join(operator_names())}", operator=name)
+    return _REGISTRY[key]()
+
+
+def all_cards() -> list[OperatorCard]:
+    return [factory().card for factory in _REGISTRY.values()]

@@ -1,0 +1,49 @@
+"""Plot physical operator (seaborn-equivalent)."""
+
+from __future__ import annotations
+
+from repro.errors import OperatorError
+from repro.operators.base import (ExecutionContext, OperatorCard,
+                                  OperatorResult, PhysicalOperator,
+                                  register_operator)
+from repro.plotting.spec import PLOT_KINDS, PlotSpec
+
+
+class PlotOperator(PhysicalOperator):
+    """Turn two columns of a table into a plot specification."""
+
+    card = OperatorCard(
+        name="Plot",
+        purpose=("It is useful when the user asked for a plot / chart / "
+                 "visualization of the result. It draws one column on the "
+                 "X-axis against another on the Y-axis."),
+        argument_format=(f"(table; plot kind one of "
+                         f"{'/'.join(PLOT_KINDS)}; x_column; y_column)"))
+
+    def run(self, context: ExecutionContext, args: list[str]) -> OperatorResult:
+        table_name, kind, x_column, y_column = self.require_args(args, 4)
+        table = context.resolve(table_name)
+        for column in (x_column, y_column):
+            if column not in table:
+                raise OperatorError(
+                    f"table {table_name!r} has no column {column!r}",
+                    operator=self.name)
+            if table.dtype(column).is_modality:
+                raise OperatorError(
+                    f"cannot plot modality column {column!r}",
+                    operator=self.name)
+        kind = kind.strip().lower()
+        if kind not in PLOT_KINDS:
+            raise OperatorError(
+                f"unknown plot kind {kind!r}; expected one of "
+                f"{', '.join(PLOT_KINDS)}", operator=self.name)
+        spec = PlotSpec(kind=kind, x_label=x_column, y_label=y_column,
+                        x_values=list(table.column(x_column)),
+                        y_values=list(table.column(y_column)))
+        observation = (
+            f"Created a {kind} plot of {y_column!r} over {x_column!r} with "
+            f"{spec.num_points} points.")
+        return OperatorResult(table=table, plot=spec, observation=observation)
+
+
+register_operator(PlotOperator)

@@ -1,0 +1,49 @@
+"""The SQL physical operator (joins, selections, aggregations, sorting).
+
+CAESURA "has access to all relational operators supported by SQLite"; the
+mapping phase emits a single guarded SELECT statement which is executed over
+the current execution context through the sqlite3 bridge.  Modality columns
+survive via object tokens (:mod:`repro.relational.sqlexec`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import OperatorError, ReproError
+from repro.operators.base import (ExecutionContext, OperatorCard,
+                                  OperatorResult, PhysicalOperator,
+                                  register_operator)
+from repro.relational.sqlexec import SQLExecutor
+
+
+class SQLOperator(PhysicalOperator):
+    """Execute one SELECT statement over the context tables."""
+
+    card = OperatorCard(
+        name="SQL",
+        purpose=("It is useful when you want to join tables, select rows "
+                 "based on a condition over relational columns, group and "
+                 "aggregate values (COUNT, SUM, AVG, MIN, MAX), sort rows, "
+                 "or limit the output. Works only on relational columns; "
+                 "it cannot look inside IMAGE or TEXT columns."),
+        argument_format="(one SELECT statement over the available tables)")
+
+    def run(self, context: ExecutionContext, args: list[str]) -> OperatorResult:
+        (sql,) = self.require_args(args, 1)
+        try:
+            with SQLExecutor() as executor:
+                for name, table in context.tables.items():
+                    executor.register(name, table)
+                result = executor.execute(sql)
+        except ReproError as exc:
+            raise OperatorError(str(exc), operator=self.name) from exc
+        observation = (
+            f"SQL returned a table with {result.num_rows} rows and columns "
+            f"{result.column_names}.")
+        if result.num_rows:
+            samples = {name: result.sample_values(name)
+                       for name in result.column_names[:4]}
+            observation += f" Example values: {samples}"
+        return OperatorResult(table=result, observation=observation)
+
+
+register_operator(SQLOperator)

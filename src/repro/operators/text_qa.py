@@ -1,0 +1,66 @@
+"""Text Question Answering physical operator (BART).
+
+"The TextQA operator takes a question template as input, which is translated
+to questions by inserting different team names from the values in the table"
+(Figure 4).  Placeholders ``<column>`` in the template are instantiated from
+each row before the extractive QA model answers from the row's text.
+"""
+
+from __future__ import annotations
+
+from repro.data.datatypes import DataType
+from repro.errors import OperatorError
+from repro.operators.base import (ExecutionContext, OperatorCard,
+                                  OperatorResult, PhysicalOperator,
+                                  register_operator)
+from repro.operators.visual_qa import answer_dtype, cast_answer
+from repro.text.qa import instantiate_template
+
+
+class TextQAOperator(PhysicalOperator):
+    """Answer an instantiated question template against a TEXT column."""
+
+    card = OperatorCard(
+        name="Text Question Answering",
+        purpose=("It is useful when you want to extract structured "
+                 "information from text documents, e.g. the number of "
+                 "points a team scored according to a game report. The "
+                 "question is a template: placeholders like <name> are "
+                 "replaced with the value of that column in each row. It "
+                 "adds the answers as a new column."),
+        argument_format=("(table; text_column; new_column; "
+                         "question_template; answer_type one of "
+                         "int/float/str)"))
+
+    def run(self, context: ExecutionContext, args: list[str]) -> OperatorResult:
+        table_name, text_column, new_column, template, answer_type = (
+            self.require_args(args, 5))
+        table = context.resolve(table_name)
+        if text_column not in table:
+            raise OperatorError(
+                f"table {table_name!r} has no column {text_column!r}",
+                operator=self.name)
+        if table.dtype(text_column) is not DataType.TEXT:
+            raise OperatorError(
+                f"column {text_column!r} has type "
+                f"{table.dtype(text_column).value}, but {self.name} needs a "
+                "TEXT column", operator=self.name)
+        answers = []
+        for row in table.rows():
+            document = row[text_column]
+            if document is None:
+                answers.append(None)
+                continue
+            question = instantiate_template(template, row)
+            raw = context.text_model.answer(str(document), question)
+            answers.append(cast_answer(raw, answer_type, self.name))
+        result = table.with_column(new_column, answer_dtype(answer_type),
+                                   answers)
+        samples = result.sample_values(new_column)
+        observation = (
+            f"New column {new_column!r} has been added to the table. "
+            f"Example values: {samples}")
+        return OperatorResult(table=result, observation=observation)
+
+
+register_operator(TextQAOperator)

@@ -1,0 +1,131 @@
+"""Visual Question Answering and Image Select physical operators (BLIP-2)."""
+
+from __future__ import annotations
+
+from repro.data.datatypes import DataType
+from repro.errors import OperatorError
+from repro.operators.base import (ExecutionContext, OperatorCard,
+                                  OperatorResult, PhysicalOperator,
+                                  register_operator)
+from repro.vision.image import Image
+
+_ANSWER_CASTS = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": bool,
+}
+
+_ANSWER_DTYPES = {
+    "int": DataType.INTEGER,
+    "float": DataType.FLOAT,
+    "str": DataType.STRING,
+    "bool": DataType.BOOLEAN,
+}
+
+
+def cast_answer(value: object, answer_type: str, operator: str) -> object:
+    """Cast a QA answer to the declared type; None passes through."""
+    if value is None:
+        return None
+    answer_type = answer_type.strip().lower()
+    if answer_type not in _ANSWER_CASTS:
+        raise OperatorError(
+            f"unknown answer type {answer_type!r}; expected one of "
+            f"{', '.join(_ANSWER_CASTS)}", operator=operator)
+    try:
+        return _ANSWER_CASTS[answer_type](value)
+    except (TypeError, ValueError) as exc:
+        raise OperatorError(
+            f"cannot cast answer {value!r} to {answer_type}",
+            operator=operator) from exc
+
+
+def answer_dtype(answer_type: str) -> DataType:
+    return _ANSWER_DTYPES.get(answer_type.strip().lower(), DataType.STRING)
+
+
+class VisualQAOperator(PhysicalOperator):
+    """Ask a question about every image in a column; store typed answers."""
+
+    card = OperatorCard(
+        name="Visual Question Answering",
+        purpose=("It is useful when you want to extract structured "
+                 "information from images, e.g. how many objects of some "
+                 "kind are depicted, or whether something is depicted "
+                 "(answered 'yes'/'no'). It adds the answers as a new "
+                 "column."),
+        argument_format=("(table; image_column; new_column; question; "
+                         "answer_type one of int/float/str)"))
+
+    def run(self, context: ExecutionContext, args: list[str]) -> OperatorResult:
+        table_name, image_column, new_column, question, answer_type = (
+            self.require_args(args, 5))
+        table = context.resolve(table_name)
+        if image_column not in table:
+            raise OperatorError(
+                f"table {table_name!r} has no column {image_column!r}",
+                operator=self.name)
+        if table.dtype(image_column) is not DataType.IMAGE:
+            raise OperatorError(
+                f"column {image_column!r} has type "
+                f"{table.dtype(image_column).value}, but {self.name} needs "
+                "an IMAGE column", operator=self.name)
+        answers = []
+        for value in table.column(image_column):
+            if value is None:
+                answers.append(None)
+                continue
+            if not isinstance(value, Image):
+                raise OperatorError(
+                    f"column {image_column!r} holds {type(value).__name__}, "
+                    "not images", operator=self.name)
+            raw = context.vision_model.answer(value, question)
+            answers.append(cast_answer(raw, answer_type, self.name))
+        result = table.with_column(new_column, answer_dtype(answer_type),
+                                   answers)
+        samples = result.sample_values(new_column)
+        observation = (
+            f"New column {new_column!r} has been added to the table. "
+            f"Example values: {samples}")
+        return OperatorResult(table=result, observation=observation)
+
+
+class ImageSelectOperator(PhysicalOperator):
+    """Keep only rows whose image matches a textual description."""
+
+    card = OperatorCard(
+        name="Image Select",
+        purpose=("It is useful for when you want to select tuples based on "
+                 "what is depicted in images, e.g. keep only the paintings "
+                 "depicting a certain object."),
+        argument_format="(table; image_column; description of what to keep)")
+
+    def run(self, context: ExecutionContext, args: list[str]) -> OperatorResult:
+        table_name, image_column, description = self.require_args(args, 3)
+        table = context.resolve(table_name)
+        if image_column not in table:
+            raise OperatorError(
+                f"table {table_name!r} has no column {image_column!r}",
+                operator=self.name)
+        if table.dtype(image_column) is not DataType.IMAGE:
+            raise OperatorError(
+                f"column {image_column!r} has type "
+                f"{table.dtype(image_column).value}, but {self.name} needs "
+                "an IMAGE column", operator=self.name)
+        mask = []
+        for value in table.column(image_column):
+            if value is None:
+                mask.append(False)
+                continue
+            mask.append(context.vision_model.matches_description(
+                value, description))
+        result = table.filter(mask)
+        observation = (
+            f"Image Select kept {result.num_rows} of {table.num_rows} rows "
+            f"matching {description!r}.")
+        return OperatorResult(table=result, observation=observation)
+
+
+register_operator(VisualQAOperator)
+register_operator(ImageSelectOperator)

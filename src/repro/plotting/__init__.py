@@ -1,0 +1,6 @@
+"""Plot specifications and ASCII rendering."""
+
+from repro.plotting.ascii import render_plot
+from repro.plotting.spec import PLOT_KINDS, PlotSpec
+
+__all__ = ["PLOT_KINDS", "PlotSpec", "render_plot"]

@@ -1,0 +1,107 @@
+"""Deterministic ASCII rendering of :class:`~repro.plotting.spec.PlotSpec`."""
+
+from __future__ import annotations
+
+from repro.plotting.spec import PlotSpec
+
+_BAR_CHAR = "█"
+_MAX_BAR_WIDTH = 40
+
+
+def render_plot(spec: PlotSpec, width: int = _MAX_BAR_WIDTH) -> str:
+    """Render *spec* as plain text (bar charts horizontal, lines as sparkline
+    rows, scatter/hist as simple grids)."""
+    if spec.kind == "bar":
+        return _render_bar(spec, width)
+    if spec.kind == "line":
+        return _render_line(spec, width)
+    if spec.kind == "scatter":
+        return _render_scatter(spec)
+    return _render_hist(spec, width)
+
+
+def _numeric(values: list[object]) -> list[float]:
+    numbers = []
+    for value in values:
+        try:
+            numbers.append(float(value))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            numbers.append(0.0)
+    return numbers
+
+
+def _header(spec: PlotSpec) -> list[str]:
+    lines = []
+    if spec.title:
+        lines.append(spec.title)
+    lines.append(f"[{spec.kind}] x={spec.x_label}, y={spec.y_label}")
+    return lines
+
+
+def _render_bar(spec: PlotSpec, width: int) -> str:
+    lines = _header(spec)
+    if not spec.x_values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    ys = _numeric(spec.y_values)
+    top = max(max(ys), 1e-9)
+    label_width = max(len(str(x)) for x in spec.x_values)
+    for x, y_raw, y in zip(spec.x_values, spec.y_values, ys):
+        bar = _BAR_CHAR * max(0, round(width * y / top))
+        lines.append(f"{str(x).rjust(label_width)} | {bar} {y_raw}")
+    return "\n".join(lines)
+
+
+def _render_line(spec: PlotSpec, width: int) -> str:
+    lines = _header(spec)
+    ys = _numeric(spec.y_values)
+    if not ys:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    low, high = min(ys), max(ys)
+    span = (high - low) or 1.0
+    levels = " .:-=+*#%@"
+    marks = "".join(levels[int((y - low) / span * (len(levels) - 1))]
+                    for y in ys)
+    lines.append(marks)
+    lines.append(f"range: [{low}, {high}] over {len(ys)} points")
+    return "\n".join(lines)
+
+
+def _render_scatter(spec: PlotSpec, grid: int = 20) -> str:
+    lines = _header(spec)
+    xs, ys = _numeric(spec.x_values), _numeric(spec.y_values)
+    if not xs:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    cells = [[" "] * grid for _ in range(grid)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_low) / x_span * (grid - 1))
+        row = grid - 1 - int((y - y_low) / y_span * (grid - 1))
+        cells[row][col] = "o"
+    lines.extend("|" + "".join(row) + "|" for row in cells)
+    return "\n".join(lines)
+
+
+def _render_hist(spec: PlotSpec, width: int, bins: int = 10) -> str:
+    lines = _header(spec)
+    values = _numeric(spec.y_values or spec.x_values)
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / span * bins))
+        counts[index] += 1
+    top = max(counts)
+    for i, count in enumerate(counts):
+        left = low + span * i / bins
+        bar = _BAR_CHAR * (round(width * count / top) if top else 0)
+        lines.append(f"{left:10.2f} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Plot specifications — the output of the Plot operator.
+
+The paper renders plots with seaborn; for plan-quality purposes what matters
+is the *specification* the planner produced (plot kind, which column on
+which axis, over which table).  :class:`PlotSpec` captures exactly that and
+can be rendered to ASCII (:mod:`repro.plotting.ascii`) for the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+PLOT_KINDS = ("bar", "line", "scatter", "hist")
+
+
+@dataclass
+class PlotSpec:
+    """A fully-specified plot: kind + axes + data series."""
+
+    kind: str
+    x_label: str
+    y_label: str
+    x_values: list[object] = field(default_factory=list)
+    y_values: list[object] = field(default_factory=list)
+    title: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in PLOT_KINDS:
+            raise ValueError(
+                f"unknown plot kind {self.kind!r}; expected one of "
+                f"{', '.join(PLOT_KINDS)}")
+        if len(self.x_values) != len(self.y_values):
+            raise ValueError(
+                f"x/y length mismatch: {len(self.x_values)} vs "
+                f"{len(self.y_values)}")
+
+    @property
+    def num_points(self) -> int:
+        return len(self.x_values)
+
+    def signature(self) -> tuple[str, str, str]:
+        """(kind, x_label, y_label) — used by the plan-quality judge."""
+        return (self.kind, self.x_label, self.y_label)
+
+    def series(self) -> list[tuple[object, object]]:
+        return list(zip(self.x_values, self.y_values))

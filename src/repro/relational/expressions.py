@@ -1,0 +1,441 @@
+"""A small SQL-like predicate / scalar expression language.
+
+The mapping phase of CAESURA produces operator arguments such as selection
+conditions (``madonna_depicted = 'yes' AND century >= 16``).  This module
+parses those strings into an AST that can be evaluated row-by-row against a
+:class:`repro.data.table.Table` row dict.
+
+Grammar (recursive descent)::
+
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | comparison
+    comparison:= operand (cmp_op operand | IS [NOT] NULL
+                  | [NOT] LIKE string | [NOT] IN '(' literal_list ')')?
+    operand   := literal | column_ref | '(' or_expr ')'
+    column_ref:= IDENT ('.' IDENT)?
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import ExpressionError
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<string>'(?:[^']|'')*'|"(?:[^"]|"")*")
+      | (?P<op><>|!=|<=|>=|==|=|<|>)
+      | (?P<lparen>\()
+      | (?P<rparen>\))
+      | (?P<comma>,)
+      | (?P<ident>[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)?)
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "like", "in", "is", "null", "true", "false",
+             "between"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split an expression string into tokens."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ExpressionError(
+                f"cannot tokenize expression at {remainder[:20]!r}")
+        pos = match.end()
+        for kind in ("number", "string", "op", "lparen", "rparen", "comma",
+                     "ident"):
+            value = match.group(kind)
+            if value is not None:
+                if kind == "ident" and value.lower() in _KEYWORDS:
+                    tokens.append(Token("keyword", value.lower()))
+                else:
+                    tokens.append(Token(kind, value))
+                break
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST nodes
+# ----------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of expression AST nodes."""
+
+    def evaluate(self, row: Mapping[str, object]) -> object:
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+    def evaluate(self, row: Mapping[str, object]) -> object:
+        return self.value
+
+    def referenced_columns(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A column reference, optionally table-qualified (``p.year``)."""
+
+    name: str
+
+    @property
+    def bare_name(self) -> str:
+        return self.name.rsplit(".", 1)[-1]
+
+    def evaluate(self, row: Mapping[str, object]) -> object:
+        if self.name in row:
+            return row[self.name]
+        bare = self.bare_name
+        if bare in row:
+            return row[bare]
+        raise ExpressionError(
+            f"unknown column {self.name!r} in expression "
+            f"(row has: {', '.join(sorted(map(str, row)))})")
+
+    def referenced_columns(self) -> set[str]:
+        return {self.bare_name}
+
+
+def _compare(op: str, left: object, right: object) -> bool:
+    if left is None or right is None:
+        return False  # SQL three-valued logic, collapsed to False
+    # Allow numeric comparison against numeric strings, as SQLite does.
+    if isinstance(left, str) and isinstance(right, (int, float)):
+        try:
+            left = float(left)
+        except ValueError:
+            return False
+    if isinstance(right, str) and isinstance(left, (int, float)):
+        try:
+            right = float(right)
+        except ValueError:
+            return False
+    try:
+        if op in ("=", "=="):
+            return left == right
+        if op in ("!=", "<>"):
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise ExpressionError(
+            f"cannot compare {left!r} {op} {right!r}") from exc
+    raise ExpressionError(f"unknown comparison operator {op!r}")
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, row: Mapping[str, object]) -> object:
+        return _compare(self.op, self.left.evaluate(row),
+                        self.right.evaluate(row))
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+
+    def evaluate(self, row: Mapping[str, object]) -> object:
+        value = self.operand.evaluate(row)
+        return (_compare(">=", value, self.low.evaluate(row))
+                and _compare("<=", value, self.high.evaluate(row)))
+
+    def referenced_columns(self) -> set[str]:
+        return (self.operand.referenced_columns()
+                | self.low.referenced_columns()
+                | self.high.referenced_columns())
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: str
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, object]) -> object:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return False
+        regex = re.escape(self.pattern).replace(r"%", ".*").replace(r"_", ".")
+        matched = re.fullmatch(regex, str(value), re.IGNORECASE) is not None
+        return matched != self.negated
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    values: tuple[object, ...]
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, object]) -> object:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return False
+        return (value in self.values) != self.negated
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, object]) -> object:
+        return (self.operand.evaluate(row) is None) != self.negated
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    op: str  # "and" | "or"
+    operands: tuple[Expr, ...]
+
+    def evaluate(self, row: Mapping[str, object]) -> object:
+        if self.op == "and":
+            return all(bool(o.evaluate(row)) for o in self.operands)
+        return any(bool(o.evaluate(row)) for o in self.operands)
+
+    def referenced_columns(self) -> set[str]:
+        columns: set[str] = set()
+        for operand in self.operands:
+            columns |= operand.referenced_columns()
+        return columns
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def evaluate(self, row: Mapping[str, object]) -> object:
+        return not bool(self.operand.evaluate(row))
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._pos = 0
+
+    def _peek(self) -> Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ExpressionError(
+                f"unexpected end of expression: {self._source!r}")
+        self._pos += 1
+        return token
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self._peek()
+        if token and token.kind == kind and (value is None
+                                             or token.value == value):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            found = self._peek()
+            raise ExpressionError(
+                f"expected {value or kind} but found "
+                f"{found.value if found else 'end'} in {self._source!r}")
+        return token
+
+    def parse(self) -> Expr:
+        expr = self._or_expr()
+        if self._peek() is not None:
+            raise ExpressionError(
+                f"trailing tokens after expression in {self._source!r}")
+        return expr
+
+    def _or_expr(self) -> Expr:
+        operands = [self._and_expr()]
+        while self._accept("keyword", "or"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("or", tuple(operands))
+
+    def _and_expr(self) -> Expr:
+        operands = [self._not_expr()]
+        while self._accept("keyword", "and"):
+            operands.append(self._not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("and", tuple(operands))
+
+    def _not_expr(self) -> Expr:
+        if self._accept("keyword", "not"):
+            return Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._operand()
+        token = self._peek()
+        if token is None:
+            return left
+        if token.kind == "op":
+            op = self._next().value
+            return Comparison(op, left, self._operand())
+        if token.kind == "keyword":
+            if token.value == "is":
+                self._next()
+                negated = self._accept("keyword", "not") is not None
+                self._expect("keyword", "null")
+                return IsNull(left, negated=negated)
+            if token.value == "between":
+                self._next()
+                low = self._operand()
+                self._expect("keyword", "and")
+                high = self._operand()
+                return Between(left, low, high)
+            negated = False
+            if token.value == "not":
+                self._next()
+                negated = True
+                token = self._peek()
+                if token is None or token.kind != "keyword":
+                    raise ExpressionError(
+                        f"expected LIKE or IN after NOT in {self._source!r}")
+            if token.value == "like":
+                self._next()
+                pattern = self._expect("string").value
+                return Like(left, _unquote(pattern), negated=negated)
+            if token.value == "in":
+                self._next()
+                self._expect("lparen")
+                values = [self._literal_value()]
+                while self._accept("comma"):
+                    values.append(self._literal_value())
+                self._expect("rparen")
+                return InList(left, tuple(values), negated=negated)
+            if negated:
+                raise ExpressionError(
+                    f"expected LIKE or IN after NOT in {self._source!r}")
+        return left
+
+    def _literal_value(self) -> object:
+        token = self._next()
+        if token.kind == "number":
+            return _parse_number(token.value)
+        if token.kind == "string":
+            return _unquote(token.value)
+        if token.kind == "keyword" and token.value in ("true", "false"):
+            return token.value == "true"
+        raise ExpressionError(
+            f"expected literal but found {token.value!r} in {self._source!r}")
+
+    def _operand(self) -> Expr:
+        token = self._peek()
+        if token is None:
+            raise ExpressionError(
+                f"unexpected end of expression: {self._source!r}")
+        if token.kind == "lparen":
+            self._next()
+            inner = self._or_expr()
+            self._expect("rparen")
+            return inner
+        if token.kind == "number":
+            self._next()
+            return Literal(_parse_number(token.value))
+        if token.kind == "string":
+            self._next()
+            return Literal(_unquote(token.value))
+        if token.kind == "keyword" and token.value in ("true", "false"):
+            self._next()
+            return Literal(token.value == "true")
+        if token.kind == "keyword" and token.value == "null":
+            self._next()
+            return Literal(None)
+        if token.kind == "ident":
+            self._next()
+            return ColumnRef(token.value)
+        raise ExpressionError(
+            f"unexpected token {token.value!r} in {self._source!r}")
+
+
+def _parse_number(text: str) -> object:
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def _unquote(text: str) -> str:
+    quote = text[0]
+    body = text[1:-1]
+    return body.replace(quote * 2, quote)
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse *text* into an expression AST.
+
+    Raises :class:`repro.errors.ExpressionError` on malformed input.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ExpressionError("empty expression")
+    return _Parser(tokenize(stripped), stripped).parse()
+
+
+def evaluate_predicate(text: str, row: Mapping[str, object]) -> bool:
+    """Parse and evaluate a predicate against one row."""
+    return bool(parse_expression(text).evaluate(row))

@@ -1,0 +1,75 @@
+"""SELECT-only SQL guard (Section 5, "Security").
+
+The paper: *"we limit e.g. generated SQL code to only SELECT statements and
+prevent running UPDATE, INSERT or DELETE statements that could maliciously
+manipulate data."*
+
+The guard strips string literals and comments, then checks that the statement
+is a single ``SELECT`` (or ``WITH ... SELECT``) and contains no mutating or
+escape-hatch keyword anywhere.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SQLGuardError
+
+_FORBIDDEN_KEYWORDS = frozenset({
+    "insert", "update", "delete", "replace", "drop", "alter", "create",
+    "attach", "detach", "pragma", "vacuum", "reindex", "analyze", "grant",
+    "revoke", "truncate", "merge", "load_extension",
+})
+
+_STRING_OR_COMMENT_RE = re.compile(
+    r"""
+      '(?:[^']|'')*'          # single-quoted string
+    | "(?:[^"]|"")*"          # double-quoted identifier
+    | --[^\n]*                # line comment
+    | /\*.*?\*/               # block comment
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def _strip_strings_and_comments(sql: str) -> str:
+    return _STRING_OR_COMMENT_RE.sub(" ", sql)
+
+
+def validate_select_only(sql: str) -> str:
+    """Validate that *sql* is one read-only SELECT statement.
+
+    Returns the statement with a trailing semicolon removed, ready to be
+    handed to sqlite3.  Raises :class:`SQLGuardError` otherwise.
+    """
+    if not sql or not sql.strip():
+        raise SQLGuardError("empty SQL statement")
+    stripped = _strip_strings_and_comments(sql).strip()
+    if not stripped:
+        raise SQLGuardError("SQL contains only comments")
+
+    # A single statement: at most one semicolon, and only at the very end.
+    body = stripped.rstrip()
+    if body.endswith(";"):
+        body = body[:-1]
+    if ";" in body:
+        raise SQLGuardError("multiple SQL statements are not allowed")
+
+    first_word_match = re.match(r"\s*([A-Za-z_]+)", body)
+    if first_word_match is None:
+        raise SQLGuardError(f"cannot parse SQL statement: {sql[:50]!r}")
+    first_word = first_word_match.group(1).lower()
+    if first_word not in ("select", "with"):
+        raise SQLGuardError(
+            f"only SELECT statements are allowed, got {first_word.upper()!r}")
+
+    words = set(re.findall(r"[A-Za-z_]+", body.lower()))
+    banned = sorted(words & _FORBIDDEN_KEYWORDS)
+    if banned:
+        raise SQLGuardError(
+            f"forbidden SQL keyword(s): {', '.join(k.upper() for k in banned)}")
+
+    cleaned = sql.strip()
+    if cleaned.endswith(";"):
+        cleaned = cleaned[:-1]
+    return cleaned

@@ -1,0 +1,281 @@
+"""Native relational operators over multi-modal tables.
+
+These implement the relational algebra CAESURA needs (selection, projection,
+equi-join, grouping/aggregation, sorting, limiting, distinct) directly on
+:class:`repro.data.table.Table`, *including* modality columns — an image
+column survives a join untouched, exactly as in Figure 4 of the paper.
+
+The :class:`repro.operators.sql_ops` physical operators can execute either
+through this engine or through the sqlite3 bridge
+(:mod:`repro.relational.sqlexec`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.data.datatypes import DataType
+from repro.data.schema import ColumnSpec, Schema
+from repro.data.table import Table
+from repro.errors import ExpressionError, SchemaError, UnknownColumnError
+from repro.relational.expressions import Expr, parse_expression
+
+
+def select(table: Table, predicate: str | Expr) -> Table:
+    """Rows of *table* satisfying *predicate*."""
+    expr = (parse_expression(predicate)
+            if isinstance(predicate, str) else predicate)
+    for column in expr.referenced_columns():
+        if column not in table:
+            raise UnknownColumnError(column, table.column_names)
+    mask = [bool(expr.evaluate(row)) for row in table.rows()]
+    return table.filter(mask)
+
+
+def project(table: Table, columns: Sequence[str]) -> Table:
+    """Keep only *columns*, in the given order."""
+    return table.project(list(columns))
+
+
+def rename(table: Table, mapping: dict[str, str]) -> Table:
+    return table.rename(mapping)
+
+
+def join(left: Table, right: Table, left_on: str, right_on: str,
+         how: str = "inner") -> Table:
+    """Hash equi-join.  Right-side name clashes get a ``_right`` suffix.
+
+    ``how`` is ``"inner"`` or ``"left"``.
+    """
+    if how not in ("inner", "left"):
+        raise SchemaError(f"unsupported join type {how!r}")
+    if left_on not in left:
+        raise UnknownColumnError(left_on, left.column_names)
+    if right_on not in right:
+        raise UnknownColumnError(right_on, right.column_names)
+
+    # Rename clashing right-side columns (except the join key when equal).
+    clashes = {name for name in right.column_names
+               if name in left.column_names}
+    renames = {}
+    for name in clashes:
+        if name == right_on and right_on == left_on:
+            continue  # merged into a single key column
+        renames[name] = f"{name}_right"
+    renamed_right = right.rename(renames) if renames else right
+    right_key = renames.get(right_on, right_on)
+
+    index: dict[object, list[int]] = {}
+    for i, key in enumerate(renamed_right.column(right_key)):
+        if key is None:
+            continue
+        index.setdefault(key, []).append(i)
+
+    left_indices: list[int] = []
+    right_indices: list[int | None] = []
+    for i, key in enumerate(left.column(left_on)):
+        matches = index.get(key, []) if key is not None else []
+        if matches:
+            for j in matches:
+                left_indices.append(i)
+                right_indices.append(j)
+        elif how == "left":
+            left_indices.append(i)
+            right_indices.append(None)
+
+    out_left = left.take(left_indices)
+    right_columns = [name for name in renamed_right.column_names
+                     if not (name == right_key and right_on == left_on)]
+    result = out_left
+    for name in right_columns:
+        values = renamed_right.column(name)
+        picked = [values[j] if j is not None else None for j in right_indices]
+        result = result.with_column(name, renamed_right.dtype(name), picked)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+
+def _numeric(values: list[object], agg: str) -> list[float]:
+    numbers = []
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            try:
+                value = float(value)
+            except (TypeError, ValueError) as exc:
+                raise ExpressionError(
+                    f"aggregate {agg} needs numeric values, got {value!r}"
+                ) from exc
+        numbers.append(value)
+    return numbers
+
+
+def _agg_count(values: list[object]) -> int:
+    return sum(1 for v in values if v is not None)
+
+
+def _agg_count_distinct(values: list[object]) -> int:
+    return len({v for v in values if v is not None})
+
+
+def _agg_sum(values: list[object]) -> object:
+    numbers = _numeric(values, "sum")
+    return sum(numbers) if numbers else None
+
+
+def _agg_avg(values: list[object]) -> object:
+    numbers = _numeric(values, "avg")
+    return sum(numbers) / len(numbers) if numbers else None
+
+
+def _agg_min(values: list[object]) -> object:
+    kept = [v for v in values if v is not None]
+    return min(kept) if kept else None
+
+
+def _agg_max(values: list[object]) -> object:
+    kept = [v for v in values if v is not None]
+    return max(kept) if kept else None
+
+
+AGGREGATES: dict[str, Callable[[list[object]], object]] = {
+    "count": _agg_count,
+    "count_distinct": _agg_count_distinct,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "mean": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+}
+
+_AGG_DTYPES = {
+    "count": DataType.INTEGER,
+    "count_distinct": DataType.INTEGER,
+    "sum": DataType.FLOAT,
+    "avg": DataType.FLOAT,
+    "mean": DataType.FLOAT,
+}
+
+
+def normalize_aggregate(name: str) -> str:
+    """Map natural-language aggregate names onto engine names."""
+    lowered = name.strip().lower()
+    synonyms = {
+        "number": "count", "number of": "count", "amount": "count",
+        "maximum": "max", "highest": "max", "largest": "max", "most": "max",
+        "minimum": "min", "lowest": "min", "smallest": "min",
+        "earliest": "min", "latest": "max",
+        "average": "avg", "total": "sum",
+    }
+    lowered = synonyms.get(lowered, lowered)
+    if lowered not in AGGREGATES:
+        raise ExpressionError(f"unknown aggregate function {name!r}")
+    return lowered
+
+
+def group_aggregate(table: Table, keys: Sequence[str],
+                    aggregations: Sequence[tuple[str, str, str]]) -> Table:
+    """GROUP BY *keys* with ``(function, input_column, output_column)`` specs.
+
+    With empty *keys*, aggregates the whole table into one row.
+    ``count`` over the pseudo-column ``"*"`` counts rows.
+    """
+    for key in keys:
+        if key not in table:
+            raise UnknownColumnError(key, table.column_names)
+    normalized = []
+    for func, column, output in aggregations:
+        func = normalize_aggregate(func)
+        if column != "*" and column not in table:
+            raise UnknownColumnError(column, table.column_names)
+        normalized.append((func, column, output))
+
+    groups: dict[tuple[object, ...], list[int]] = {}
+    order: list[tuple[object, ...]] = []
+    if keys:
+        key_columns = [table.column(k) for k in keys]
+        for i in range(table.num_rows):
+            group_key = tuple(col[i] for col in key_columns)
+            if group_key not in groups:
+                groups[group_key] = []
+                order.append(group_key)
+            groups[group_key].append(i)
+    else:
+        groups[()] = list(range(table.num_rows))
+        order.append(())
+
+    specs = [ColumnSpec(k, table.dtype(k)) for k in keys]
+    for func, column, output in normalized:
+        if func in _AGG_DTYPES:
+            dtype = _AGG_DTYPES[func]
+        elif column == "*":
+            dtype = DataType.INTEGER
+        else:
+            dtype = table.dtype(column)
+        specs.append(ColumnSpec(output, dtype))
+    schema = Schema(specs, description=table.schema.description)
+
+    rows = []
+    for group_key in order:
+        indices = groups[group_key]
+        row: list[object] = list(group_key)
+        for func, column, _output in normalized:
+            if column == "*":
+                row.append(len(indices))
+                continue
+            values = [table.column(column)[i] for i in indices]
+            row.append(AGGREGATES[func](values))
+        rows.append(row)
+    return Table.from_rows(schema, rows)
+
+
+def sort(table: Table, by: Sequence[str],
+         descending: bool | Sequence[bool] = False) -> Table:
+    """Stable multi-key sort; ``None`` sorts last on ascending keys."""
+    if isinstance(descending, bool):
+        flags = [descending] * len(by)
+    else:
+        flags = list(descending)
+        if len(flags) != len(by):
+            raise SchemaError("descending flags must match sort keys")
+    for key in by:
+        if key not in table:
+            raise UnknownColumnError(key, table.column_names)
+    indices = list(range(table.num_rows))
+    for key, desc in reversed(list(zip(by, flags))):
+        values = table.column(key)
+
+        def sort_key(i: int, values=values) -> tuple[bool, object]:
+            value = values[i]
+            return (value is None, value)
+
+        indices.sort(key=sort_key, reverse=desc)
+    return table.take(indices)
+
+
+def limit(table: Table, n: int) -> Table:
+    return table.head(n)
+
+
+def distinct(table: Table, columns: Sequence[str] | None = None) -> Table:
+    """Distinct rows (over *columns* if given, else all relational columns)."""
+    if columns is None:
+        columns = [c.name for c in table.schema.relational_columns]
+    keep: list[int] = []
+    seen: set[tuple[object, ...]] = set()
+    value_columns = [table.column(c) for c in columns]
+    for i in range(table.num_rows):
+        key = tuple(col[i] for col in value_columns)
+        if key not in seen:
+            seen.add(key)
+            keep.append(i)
+    return table.take(keep)
+
+
+def union_all(left: Table, right: Table) -> Table:
+    return left.concat(right)

@@ -1,0 +1,176 @@
+"""sqlite3 bridge: run guarded SELECT statements over multi-modal tables.
+
+The paper's prototype "has access to all relational operators supported by
+SQLite".  Modality values (IMAGE / TEXT objects) cannot live inside sqlite,
+so the bridge swaps each object for an opaque token (``obj://<n>``) held in
+an :class:`ObjectStore`, runs the query, and resolves tokens in the result
+back into objects — restoring the modality datatype of any result column
+whose values are all tokens of one modality.  This is what lets an image
+column flow through a regular SQL join (Figure 4).
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from dataclasses import dataclass, field
+from datetime import date
+
+from repro.data.datatypes import DataType
+from repro.data.schema import ColumnSpec, Schema
+from repro.data.table import Table
+from repro.errors import SQLExecutionError
+from repro.relational.guard import validate_select_only
+
+_TOKEN_RE = re.compile(r"^obj://(\d+)$")
+
+
+@dataclass
+class ObjectStore:
+    """Maps modality objects to opaque string tokens and back."""
+
+    _objects: list[tuple[object, DataType]] = field(default_factory=list)
+
+    def put(self, obj: object, dtype: DataType) -> str:
+        self._objects.append((obj, dtype))
+        return f"obj://{len(self._objects) - 1}"
+
+    def get(self, token: str) -> tuple[object, DataType]:
+        match = _TOKEN_RE.match(token)
+        if match is None:
+            raise SQLExecutionError(f"not an object token: {token!r}")
+        return self._objects[int(match.group(1))]
+
+    def is_token(self, value: object) -> bool:
+        return isinstance(value, str) and _TOKEN_RE.match(value) is not None
+
+
+def _quote_ident(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+class SQLExecutor:
+    """Executes SELECT-only SQL over registered :class:`Table` values."""
+
+    def __init__(self) -> None:
+        self._connection = sqlite3.connect(":memory:")
+        self._store = ObjectStore()
+        self._registered: dict[str, Table] = {}
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "SQLExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def registered_tables(self) -> list[str]:
+        return list(self._registered)
+
+    def register(self, name: str, table: Table) -> None:
+        """(Re-)register *table* under *name* in the sqlite database."""
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
+            raise SQLExecutionError(f"invalid table name {name!r}")
+        cursor = self._connection.cursor()
+        cursor.execute(f"DROP TABLE IF EXISTS {_quote_ident(name)}")
+        column_defs = ", ".join(
+            f"{_quote_ident(spec.name)} {spec.dtype.sqlite_affinity}"
+            for spec in table.schema.columns)
+        cursor.execute(f"CREATE TABLE {_quote_ident(name)} ({column_defs})")
+
+        modality = {spec.name: spec.dtype
+                    for spec in table.schema.modality_columns}
+        placeholders = ", ".join("?" for _ in table.column_names)
+        insert_sql = (f"INSERT INTO {_quote_ident(name)} "
+                      f"VALUES ({placeholders})")
+        rows = []
+        for row in table.rows():
+            cells = []
+            for column in table.column_names:
+                value = row[column]
+                if column in modality and value is not None:
+                    cells.append(self._store.put(value, modality[column]))
+                elif isinstance(value, date):
+                    cells.append(value.isoformat())
+                elif isinstance(value, bool):
+                    cells.append(int(value))
+                else:
+                    cells.append(value)
+            rows.append(tuple(cells))
+        cursor.executemany(insert_sql, rows)
+        self._connection.commit()
+        self._registered[name] = table
+
+    def execute(self, sql: str) -> Table:
+        """Run one guarded SELECT and return the result as a :class:`Table`."""
+        cleaned = validate_select_only(sql)
+        cursor = self._connection.cursor()
+        try:
+            cursor.execute(cleaned)
+        except sqlite3.Error as exc:
+            raise SQLExecutionError(f"SQL failed: {exc} (query: {sql})") from exc
+        if cursor.description is None:
+            raise SQLExecutionError("statement returned no result set")
+        names = [d[0] for d in cursor.description]
+        raw_rows = cursor.fetchall()
+        # sqlite can return duplicate column names; make them unique.
+        unique_names: list[str] = []
+        counts: dict[str, int] = {}
+        for name in names:
+            counts[name] = counts.get(name, 0) + 1
+            if counts[name] > 1:
+                unique_names.append(f"{name}_{counts[name]}")
+            else:
+                unique_names.append(name)
+        columns = {n: [] for n in unique_names}
+        for raw in raw_rows:
+            for name, value in zip(unique_names, raw):
+                columns[name].append(value)
+        return self._to_table(unique_names, columns)
+
+    def _to_table(self, names: list[str],
+                  columns: dict[str, list[object]]) -> Table:
+        specs = []
+        resolved: dict[str, list[object]] = {}
+        for name in names:
+            values = columns[name]
+            tokens = [v for v in values if v is not None]
+            if tokens and all(self._store.is_token(v) for v in tokens):
+                dtypes = set()
+                objects = []
+                for value in values:
+                    if value is None:
+                        objects.append(None)
+                        continue
+                    obj, dtype = self._store.get(value)
+                    objects.append(obj)
+                    dtypes.add(dtype)
+                dtype = dtypes.pop() if len(dtypes) == 1 else DataType.STRING
+                specs.append(ColumnSpec(name, dtype))
+                resolved[name] = objects
+                continue
+            resolved[name] = values
+            specs.append(ColumnSpec(name, _infer_sql_dtype(values)))
+        return Table(Schema(specs), resolved)
+
+
+def _infer_sql_dtype(values: list[object]) -> DataType:
+    kinds = {type(v) for v in values if v is not None}
+    if not kinds:
+        return DataType.STRING
+    if kinds <= {int}:
+        return DataType.INTEGER
+    if kinds <= {int, float}:
+        return DataType.FLOAT
+    return DataType.STRING
+
+
+def run_sql(sql: str, tables: dict[str, Table]) -> Table:
+    """One-shot convenience: register *tables*, execute *sql*, return result."""
+    with SQLExecutor() as executor:
+        for name, table in tables.items():
+            executor.register(name, table)
+        return executor.execute(sql)

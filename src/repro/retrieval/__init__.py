@@ -1,0 +1,6 @@
+"""Dense-retrieval substrate for the discovery phase."""
+
+from repro.retrieval.embedder import HashEmbedder, tokenize
+from repro.retrieval.index import SearchHit, VectorIndex
+
+__all__ = ["HashEmbedder", "SearchHit", "VectorIndex", "tokenize"]

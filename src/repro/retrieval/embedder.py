@@ -1,0 +1,63 @@
+"""Hashed bag-of-words text embeddings.
+
+The discovery phase of CAESURA "narrows down the relevant tables, image
+collections, etc. using dense retrieval (similar to Symphony)".  Offline we
+replace the neural text encoder with the feature-hashing trick: each token
+(and token bigram) is hashed into a fixed-size vector with a ±1 sign, which
+preserves the cosine-similarity geometry of lexical overlap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+import numpy as np
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+_STOPWORDS = frozenset(
+    "a an and are as at be by for from has have in is it of on or that the "
+    "this to was were which with what how many much does did each every per "
+    "all any".split())
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens with stopwords removed."""
+    return [t for t in _TOKEN_RE.findall(text.lower())
+            if t not in _STOPWORDS]
+
+
+def _hash_slot(feature: str, dim: int) -> tuple[int, float]:
+    digest = hashlib.sha1(feature.encode()).digest()
+    slot = int.from_bytes(digest[:4], "little") % dim
+    sign = 1.0 if digest[4] % 2 == 0 else -1.0
+    return slot, sign
+
+
+class HashEmbedder:
+    """Deterministic text → unit-vector embedder."""
+
+    def __init__(self, dim: int = 256, use_bigrams: bool = True):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.use_bigrams = use_bigrams
+
+    def embed(self, text: str) -> np.ndarray:
+        vector = np.zeros(self.dim, dtype=np.float64)
+        tokens = tokenize(text)
+        features = list(tokens)
+        if self.use_bigrams:
+            features.extend(f"{a}_{b}" for a, b in zip(tokens, tokens[1:]))
+        for feature in features:
+            slot, sign = _hash_slot(feature, self.dim)
+            vector[slot] += sign
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def similarity(self, left: str, right: str) -> float:
+        """Cosine similarity of two texts."""
+        return float(np.dot(self.embed(left), self.embed(right)))

@@ -1,0 +1,46 @@
+"""A small in-memory vector index with cosine top-k search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RetrievalError
+from repro.retrieval.embedder import HashEmbedder
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    key: str
+    score: float
+
+
+class VectorIndex:
+    """Maps string keys to embedded documents; supports top-k retrieval."""
+
+    def __init__(self, embedder: HashEmbedder | None = None):
+        self.embedder = embedder or HashEmbedder()
+        self._keys: list[str] = []
+        self._matrix: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, key: str, document: str) -> None:
+        vector = self.embedder.embed(document)
+        if self._matrix is None:
+            self._matrix = vector[None, :]
+        else:
+            self._matrix = np.vstack([self._matrix, vector])
+        self._keys.append(key)
+
+    def search(self, query: str, k: int = 5,
+               min_score: float = 0.0) -> list[SearchHit]:
+        """Top-*k* keys by cosine similarity to *query*."""
+        if self._matrix is None:
+            raise RetrievalError("vector index is empty")
+        scores = self._matrix @ self.embedder.embed(query)
+        order = np.argsort(-scores)[:k]
+        return [SearchHit(self._keys[i], float(scores[i]))
+                for i in order if scores[i] >= min_score]

@@ -1,0 +1,13 @@
+"""Text substrate: report generation + simulated extractive QA (BART-sim)."""
+
+from repro.text.qa import BartQASim, instantiate_template, split_sentences
+from repro.text.reports import GameBoxScore, PlayerLine, generate_report
+
+__all__ = [
+    "BartQASim",
+    "GameBoxScore",
+    "PlayerLine",
+    "generate_report",
+    "instantiate_template",
+    "split_sentences",
+]

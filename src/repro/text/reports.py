@@ -1,0 +1,123 @@
+"""Natural-language basketball game reports (rotowire-style).
+
+The paper's second dataset is rotowire [Wiseman et al., 2017]: textual game
+reports carrying the important statistics of the teams and players involved.
+This module generates such reports from a structured :class:`GameBoxScore`.
+Sentence templates are varied per game (seeded RNG) so that the simulated
+extractive QA model (:mod:`repro.text.qa`) has to cope with several surface
+forms rather than one fixed pattern.
+
+The box score is the *ground truth*; the report is the only thing the TextQA
+operator ever sees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+_WEEKDAYS = ("Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+             "Saturday", "Sunday")
+
+
+@dataclass(frozen=True)
+class PlayerLine:
+    """One player's stat line in a game."""
+
+    name: str
+    team: str
+    points: int
+    rebounds: int
+    assists: int
+
+
+@dataclass
+class GameBoxScore:
+    """Structured ground truth of one game."""
+
+    game_id: int
+    home_team: str
+    away_team: str
+    home_points: int
+    away_points: int
+    player_lines: list[PlayerLine] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.home_points == self.away_points:
+            raise ValueError("ties are not supported; adjust scores")
+
+    @property
+    def winner(self) -> str:
+        return (self.home_team if self.home_points > self.away_points
+                else self.away_team)
+
+    @property
+    def loser(self) -> str:
+        return (self.away_team if self.home_points > self.away_points
+                else self.home_team)
+
+    @property
+    def winner_points(self) -> int:
+        return max(self.home_points, self.away_points)
+
+    @property
+    def loser_points(self) -> int:
+        return min(self.home_points, self.away_points)
+
+    def points_of(self, team: str) -> int:
+        if team == self.home_team:
+            return self.home_points
+        if team == self.away_team:
+            return self.away_points
+        raise KeyError(f"team {team!r} did not play game {self.game_id}")
+
+
+_OPENINGS = (
+    "The {winner} defeated the {loser} {wp} - {lp} on {weekday}.",
+    "The {winner} beat the {loser} {wp} - {lp} on {weekday}.",
+    "On {weekday}, the {winner} defeated the {loser} {wp} - {lp}.",
+    "The {loser} lost to the {winner} {lp} - {wp} on {weekday}.",
+)
+
+_TEAM_SENTENCES = (
+    "The {team} scored {points} points in total.",
+    "The {team} put up {points} points.",
+    "In total, the {team} scored {points} points.",
+)
+
+_PLAYER_SENTENCES = (
+    "{name} led the {team} with {points} points, {rebounds} rebounds and "
+    "{assists} assists.",
+    "{name} scored {points} points, grabbed {rebounds} rebounds and handed "
+    "out {assists} assists for the {team}.",
+    "{name} finished with {points} points, {rebounds} rebounds and "
+    "{assists} assists.",
+    "{name} added {points} points to go with {rebounds} rebounds and "
+    "{assists} assists.",
+)
+
+_CLOSINGS = (
+    "Both teams return to action later this week.",
+    "The two sides will meet again later this season.",
+    "It was a hard-fought game from start to finish.",
+)
+
+
+def generate_report(box: GameBoxScore, seed: int | None = None) -> str:
+    """Compose the natural-language report for one game."""
+    rng = random.Random(box.game_id if seed is None else seed)
+    weekday = rng.choice(_WEEKDAYS)
+    sentences = [rng.choice(_OPENINGS).format(
+        winner=box.winner, loser=box.loser,
+        wp=box.winner_points, lp=box.loser_points, weekday=weekday)]
+    # Always state both teams' totals explicitly so extraction has a
+    # guaranteed anchor (the opening already implies them as a score line).
+    for team in (box.home_team, box.away_team):
+        sentences.append(rng.choice(_TEAM_SENTENCES).format(
+            team=team, points=box.points_of(team)))
+    for line in box.player_lines:
+        sentences.append(rng.choice(_PLAYER_SENTENCES).format(
+            name=line.name, team=line.team, points=line.points,
+            rebounds=line.rebounds, assists=line.assists))
+    sentences.append(rng.choice(_CLOSINGS))
+    return " ".join(sentences)

@@ -1,0 +1,14 @@
+"""Description→code generation and the AST-validated UDF sandbox."""
+
+from repro.udf.codegen import GeneratedUDF, generate_udf
+from repro.udf.sandbox import (ALLOWED_ATTRIBUTES, ALLOWED_BUILTINS,
+                               compile_udf, validate_udf_source)
+
+__all__ = [
+    "ALLOWED_ATTRIBUTES",
+    "ALLOWED_BUILTINS",
+    "GeneratedUDF",
+    "compile_udf",
+    "generate_udf",
+    "validate_udf_source",
+]

@@ -1,0 +1,185 @@
+"""Simulated BLIP-2: Visual Question Answering and image-select over rasters.
+
+The real CAESURA prototype uses BLIP-2 [Li et al., 2023] for its VisualQA
+and Image Select operators.  This simulator reproduces the operator
+*contract* — (image, natural-language question) → typed answer — with a
+pixel-level detector:
+
+1. colour segmentation: per category, mask pixels within L∞ tolerance of the
+   category colour;
+2. connected-component labelling (``scipy.ndimage.label``);
+3. components above a minimum area count as object instances.
+
+The detector sees only :attr:`Image.pixels`; the scene ground truth stays in
+the dataset generator.  An optional miss-probability noise model lets
+robustness experiments degrade the "model".
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.errors import OperatorError
+from repro.vision.image import Image
+from repro.vision.scene import CATEGORIES, Category, categories_in_phrase
+
+COLOR_TOLERANCE = 30
+MIN_COMPONENT_AREA = 5
+
+_COUNT_PATTERNS = (
+    re.compile(r"how many\b(?P<rest>.*)", re.IGNORECASE),
+    re.compile(r"(?:what is the )?number of\b(?P<rest>.*)", re.IGNORECASE),
+    re.compile(r"count (?:the |of )?(?P<rest>.*)", re.IGNORECASE),
+)
+_YESNO_PATTERNS = (
+    re.compile(r"^(?:is|are)\b(?P<rest>.*)", re.IGNORECASE),
+    re.compile(r"^(?:does|do) the (?:image|painting|picture) (?:show|depict|"
+               r"contain)\b(?P<rest>.*)", re.IGNORECASE),
+)
+_WHAT_PATTERN = re.compile(
+    r"what (?:is|objects? (?:are|is)) (?:depicted|shown|visible)",
+    re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected object instance."""
+
+    category: str
+    cx: float
+    cy: float
+    area: int
+
+
+class Blip2Sim:
+    """Simulated BLIP-2 visual model (detection + VQA + yes/no select)."""
+
+    def __init__(self, tolerance: int = COLOR_TOLERANCE,
+                 min_area: int = MIN_COMPONENT_AREA,
+                 miss_probability: float = 0.0, seed: int = 0):
+        if not 0.0 <= miss_probability <= 1.0:
+            raise ValueError("miss_probability must be within [0, 1]")
+        self.tolerance = tolerance
+        self.min_area = min_area
+        self.miss_probability = miss_probability
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+
+    def detect(self, image: Image) -> list[Detection]:
+        """All object instances found in *image*, every category."""
+        detections: list[Detection] = []
+        pixels = image.pixels.astype(np.int16)
+        for category in CATEGORIES.values():
+            detections.extend(self._detect_category(pixels, category))
+        if self.miss_probability > 0.0:
+            detections = [d for d in detections
+                          if self._rng.random() >= self.miss_probability]
+        return detections
+
+    def _detect_category(self, pixels: np.ndarray,
+                         category: Category) -> list[Detection]:
+        color = np.array(category.color, dtype=np.int16)
+        diff = np.abs(pixels - color[None, None, :])
+        mask = (diff <= self.tolerance).all(axis=2)
+        if not mask.any():
+            return []
+        labelled, count = ndimage.label(mask)
+        detections = []
+        for index in range(1, count + 1):
+            component = labelled == index
+            area = int(component.sum())
+            if area < self.min_area:
+                continue
+            ys, xs = np.nonzero(component)
+            detections.append(Detection(category.name,
+                                        float(xs.mean()), float(ys.mean()),
+                                        area))
+        return detections
+
+    def count(self, image: Image, category: str) -> int:
+        return sum(1 for d in self.detect(image) if d.category == category)
+
+    def depicted_categories(self, image: Image) -> list[str]:
+        seen: list[str] = []
+        for detection in self.detect(image):
+            if detection.category not in seen:
+                seen.append(detection.category)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Visual Question Answering
+    # ------------------------------------------------------------------
+
+    def answer(self, image: Image, question: str) -> object:
+        """Answer a natural-language *question* about *image*.
+
+        Supported question families (mirroring BLIP-2 usage in the paper):
+        counting ("How many swords are depicted?"), yes/no ("Is Madonna and
+        Child depicted?") and open listing ("What is depicted?").
+        Yes/no answers are the literal strings ``"yes"`` / ``"no"`` — the
+        interleaved mapping phase relies on observing those values.
+        """
+        question = question.strip()
+        if not question:
+            raise OperatorError("empty VQA question", operator="VisualQA")
+
+        for pattern in _COUNT_PATTERNS:
+            match = pattern.search(question)
+            if match:
+                categories = categories_in_phrase(match.group("rest"))
+                if not categories:
+                    raise OperatorError(
+                        f"VQA cannot resolve object in question {question!r}",
+                        operator="VisualQA")
+                return self.count(image, categories[0].name)
+
+        if _WHAT_PATTERN.search(question):
+            return ", ".join(self.depicted_categories(image)) or "nothing"
+
+        for pattern in _YESNO_PATTERNS:
+            match = pattern.search(question)
+            if match:
+                categories = categories_in_phrase(match.group("rest"))
+                if not categories:
+                    raise OperatorError(
+                        f"VQA cannot resolve object in question {question!r}",
+                        operator="VisualQA")
+                present = self.depicted_categories(image)
+                ok = all(c.name in present for c in categories)
+                return "yes" if ok else "no"
+
+        # Fall back: any mentioned category → yes/no on all of them.
+        categories = categories_in_phrase(question)
+        if categories:
+            present = self.depicted_categories(image)
+            ok = all(c.name in present for c in categories)
+            return "yes" if ok else "no"
+        raise OperatorError(
+            f"VQA does not understand question {question!r}",
+            operator="VisualQA")
+
+    # ------------------------------------------------------------------
+    # Image Select
+    # ------------------------------------------------------------------
+
+    def matches_description(self, image: Image, description: str) -> bool:
+        """True when every object mentioned in *description* is depicted.
+
+        Backs the Image Select operator ("select images showing Madonna and
+        Child").
+        """
+        categories = categories_in_phrase(description)
+        if not categories:
+            raise OperatorError(
+                f"Image Select cannot resolve description {description!r}",
+                operator="Image Select")
+        present = set(self.depicted_categories(image))
+        return all(c.name in present for c in categories)

@@ -1,0 +1,47 @@
+"""The IMAGE modality object: a raster image backed by a numpy array."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Image:
+    """An RGB raster image (``uint8``, shape ``(height, width, 3)``).
+
+    Instances populate the ``image`` column of image-collection tables.  The
+    simulated vision model (:class:`repro.vision.blip.Blip2Sim`) consumes
+    only :attr:`pixels` — never any scene metadata — so information must be
+    recovered from the raster itself.
+    """
+
+    def __init__(self, pixels: np.ndarray, path: str = ""):
+        pixels = np.asarray(pixels)
+        if pixels.ndim != 3 or pixels.shape[2] != 3:
+            raise ValueError(
+                f"expected (H, W, 3) RGB array, got shape {pixels.shape}")
+        self.pixels = pixels.astype(np.uint8, copy=False)
+        self.path = path
+
+    @property
+    def height(self) -> int:
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.pixels.shape[1])
+
+    def copy(self) -> "Image":
+        return Image(self.pixels.copy(), path=self.path)
+
+    def __repr__(self) -> str:
+        label = self.path or "unnamed"
+        return f"<Image {self.width}x{self.height} {label}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Image):
+            return NotImplemented
+        return (self.path == other.path
+                and np.array_equal(self.pixels, other.pixels))
+
+    def __hash__(self) -> int:
+        return hash((self.path, self.pixels.tobytes()))
