@@ -1,3 +1,21 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="caesura-repro",
+    version="0.1.0",
+    description=("Reproduction of CAESURA: language models as multi-modal "
+                 "query planners (CIDR'24)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "networkx",
+        "numpy",
+        "scipy",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

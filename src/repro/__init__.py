@@ -1,0 +1,3 @@
+"""Reproduction of CAESURA: language models as multi-modal query planners."""
+
+__version__ = "0.1.0"

@@ -1,0 +1,111 @@
+"""Command-line entry point: answer one query or run a batch.
+
+Examples::
+
+    python -m repro.cli --dataset rotowire \\
+        --query "How many players are taller than 200?"
+    python -m repro.cli --dataset artwork --batch queries.txt --cache-size 64
+
+Installed as the ``repro`` console script by ``setup.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.batch import BatchRunner
+from repro.core.engine import EngineConfig, QueryEngine
+from repro.core.plan import QueryResult
+from repro.datasets import DATASET_NAMES, load_lake
+from repro.plotting.ascii import render_plot
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}")
+    return value
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Answer natural-language queries over a multi-modal "
+                    "data lake (CAESURA reproduction).")
+    parser.add_argument("--dataset", required=True, choices=DATASET_NAMES,
+                        help="which synthetic dataset to load")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="dataset generation seed (default: the "
+                             "dataset's own default)")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--query", help="one natural-language query")
+    source.add_argument("--batch", metavar="FILE",
+                        help="file with one query per line ('#' comments "
+                             "and blank lines are skipped)")
+    parser.add_argument("--cache-size", type=_positive_int, default=128,
+                        help="LRU plan-cache capacity for batch mode "
+                             "(default: 128)")
+    parser.add_argument("--no-discovery", action="store_true",
+                        help="skip the discovery phase (no column hints)")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the physical plan and per-phase timings")
+    return parser
+
+
+def read_batch_file(path: str) -> list[str]:
+    queries = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            queries.append(line)
+    return queries
+
+
+def _print_result(result: QueryResult, trace: bool) -> None:
+    print(result.describe())
+    if result.kind == "table" and result.table is not None:
+        print(result.table.to_display())
+    elif result.kind == "plot" and result.plot is not None:
+        print(render_plot(result.plot))
+    if trace and result.trace is not None:
+        print()
+        print(f"replans: {result.trace.replans}, "
+              f"errors: {len(result.trace.errors)}")
+        for step in result.trace.physical_steps:
+            print(f"  step {step.logical.index}: {step.operator} "
+                  f"({'; '.join(step.arguments)})")
+        for phase, seconds in sorted(result.trace.timings.items()):
+            print(f"  {phase:<10s} {seconds:.3f}s")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    lake = load_lake(args.dataset, seed=args.seed)
+    config = EngineConfig(use_discovery=not args.no_discovery)
+
+    if args.batch:
+        try:
+            queries = read_batch_file(args.batch)
+        except OSError as exc:
+            print(f"cannot read batch file: {exc}", file=sys.stderr)
+            return 2
+        if not queries:
+            print(f"no queries found in {args.batch}", file=sys.stderr)
+            return 2
+        runner = BatchRunner(lake, config=config,
+                             cache_size=args.cache_size)
+        report = runner.run(queries)
+        print(report.render())
+        return 0 if report.num_errors == 0 else 1
+
+    engine = QueryEngine(lake, config=config)
+    result = engine.answer(args.query)
+    _print_result(result, trace=args.trace)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Core machinery: plans, prompts, response parsing, engine, batch runner.
+
+Submodules are imported explicitly (``repro.core.engine`` etc.) rather than
+re-exported here, so that light-weight consumers of ``repro.core.plan`` do
+not pay for the operator stack.
+"""

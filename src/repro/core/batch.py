@@ -1,0 +1,179 @@
+"""Batch execution: many queries over one warmed data lake.
+
+Throughput scenarios need two things the single-query engine does not give
+us: amortization of the planning phase across repeated queries, and
+aggregate statistics.  This module provides both:
+
+- :class:`PlanCache` — an LRU cache of logical plans keyed on
+  ``(query, lake fingerprint)``.  The fingerprint
+  (:meth:`~repro.data.catalog.DataLake.fingerprint`) guarantees a cached
+  plan is only reused against a structurally identical lake.
+- :class:`BatchRunner` — runs a sequence of queries through one
+  :class:`~repro.core.engine.QueryEngine` sharing one cache, and produces a
+  :class:`BatchReport` with per-stage wall-clock totals, step counts, and
+  the cache hit-rate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.engine import EngineConfig, QueryEngine
+from repro.core.plan import LogicalPlan, QueryResult
+from repro.data.catalog import DataLake
+from repro.llm.interface import LanguageModel
+
+_STAGES = ("discovery", "planning", "mapping", "execution")
+
+
+class PlanCache:
+    """A bounded LRU cache of logical plans."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got "
+                             f"{capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[str, str], LogicalPlan] = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple[str, str]) -> LogicalPlan | None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: tuple[str, str], plan: LogicalPlan) -> None:
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+@dataclass
+class QueryStats:
+    """Per-query line of a batch report."""
+
+    query: str
+    kind: str
+    ok: bool
+    cache_hit: bool
+    steps: int
+    seconds: float
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of one batch run."""
+
+    stats: list[QueryStats] = field(default_factory=list)
+    results: list[QueryResult] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.stats)
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for stat in self.stats if stat.ok)
+
+    @property
+    def num_errors(self) -> int:
+        return self.num_queries - self.num_ok
+
+    @property
+    def total_steps(self) -> int:
+        return sum(stat.steps for stat in self.stats)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def queries_per_second(self) -> float:
+        return (self.num_queries / self.wall_seconds
+                if self.wall_seconds > 0 else 0.0)
+
+    def render(self) -> str:
+        """Plain-text report for the CLI."""
+        lines = [
+            f"batch: {self.num_queries} queries "
+            f"({self.num_ok} ok, {self.num_errors} errors), "
+            f"{self.total_steps} physical steps",
+            f"wall clock: {self.wall_seconds:.3f}s "
+            f"({self.queries_per_second:.1f} queries/s)",
+            f"plan cache: {self.cache_hits} hits, {self.cache_misses} "
+            f"misses, {self.cache_evictions} evictions "
+            f"(hit rate {self.cache_hit_rate:.0%})",
+            "per-stage wall clock:",
+        ]
+        for stage in _STAGES:
+            seconds = self.timings.get(stage, 0.0)
+            share = (seconds / self.wall_seconds
+                     if self.wall_seconds > 0 else 0.0)
+            lines.append(f"  {stage:<10s} {seconds:8.3f}s  ({share:.0%})")
+        lines.append("queries:")
+        for stat in self.stats:
+            marker = "ok " if stat.ok else "ERR"
+            cached = "cached plan" if stat.cache_hit else "fresh plan"
+            lines.append(
+                f"  [{marker}] {stat.kind:<5s} {stat.steps:2d} steps "
+                f"{stat.seconds:7.3f}s  {cached}  {stat.query}")
+        return "\n".join(lines)
+
+
+class BatchRunner:
+    """Executes query batches over one warmed lake with a shared plan cache."""
+
+    def __init__(self, lake: DataLake, model: LanguageModel | None = None,
+                 config: EngineConfig | None = None, cache_size: int = 128):
+        self.cache = PlanCache(cache_size)
+        self.engine = QueryEngine(lake, model=model, config=config,
+                                  plan_cache=self.cache)
+
+    def run(self, queries: Sequence[str] | Iterable[str]) -> BatchReport:
+        report = BatchReport()
+        for query in queries:
+            hits_before = self.cache.hits
+            result = self.engine.answer(query)
+            trace = result.trace
+            timings = trace.timings if trace is not None else {}
+            for stage in _STAGES:
+                report.timings[stage] = (report.timings.get(stage, 0.0)
+                                         + timings.get(stage, 0.0))
+            report.wall_seconds += timings.get("total", 0.0)
+            report.stats.append(QueryStats(
+                query=query, kind=result.kind, ok=result.ok,
+                cache_hit=self.cache.hits > hits_before,
+                steps=len(trace.physical_steps) if trace else 0,
+                seconds=timings.get("total", 0.0)))
+            report.results.append(result)
+        report.cache_hits = self.cache.hits
+        report.cache_misses = self.cache.misses
+        report.cache_evictions = self.cache.evictions
+        return report

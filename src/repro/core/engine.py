@@ -1,0 +1,292 @@
+"""The CAESURA driver: the interleaved plan → map → execute loop (Figure 2).
+
+:class:`QueryEngine` answers one natural-language query against a
+:class:`~repro.data.catalog.DataLake`.  It talks to the planner model
+exclusively through rendered chat prompts (:mod:`repro.core.prompts`) and
+parses the responses with :mod:`repro.core.parsing` — the same contract as a
+remote GPT-4 endpoint, which is what lets :class:`~repro.llm.brain.
+SimulatedBrain` (or any other :class:`~repro.llm.interface.LanguageModel`)
+be plugged in.
+
+Flow per query:
+
+1. *Discovery*: ask which columns are relevant, turn them into
+   :class:`~repro.core.prompts.ColumnHint`s with example values.
+2. *Planning*: ask for a logical plan (or reuse one from the plan cache).
+3. For each logical step, interleaved: *Mapping* (bind the step to a
+   physical operator + arguments) then *Execution* (run the operator over
+   the shared :class:`~repro.operators.base.ExecutionContext`).  Each
+   operator's observation is fed into the next mapping prompt.
+4. On failure the error-analysis prompt decides between retrying the step
+   with feedback and backtracking to planning (bounded by
+   ``max_replans``).
+
+Every prompt/response pair is recorded in ``last_transcript``; everything
+that happened lands in the returned :class:`~repro.core.plan.QueryResult`'s
+:class:`~repro.core.plan.PlanTrace`, including per-phase wall-clock timings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.parsing import (ErrorAnalysis, parse_error_analysis,
+                                parse_logical_plan, parse_mapping_response,
+                                parse_relevant_columns)
+from repro.core.plan import (ErrorEvent, LogicalPlan, LogicalStep,
+                             Observation, PhysicalStep, PlanTrace,
+                             QueryResult)
+from repro.core.prompts import (ColumnHint, build_discovery_prompt,
+                                build_error_prompt, build_mapping_prompt,
+                                build_planning_prompt)
+from repro.data.catalog import DataLake
+from repro.data.table import Table
+from repro.errors import ReproError
+from repro.llm.brain import SimulatedBrain
+from repro.llm.interface import LanguageModel, Transcript
+from repro.operators.base import ExecutionContext, all_cards, build_operator
+from repro.plotting.spec import PlotSpec
+
+
+@dataclass
+class EngineConfig:
+    """Tunables of the execution loop."""
+
+    max_replans: int = 2          # bounded backtracking to the planning phase
+    max_step_retries: int = 2     # mapping retries per step, with feedback
+    use_discovery: bool = True    # run the discovery prompt for column hints
+    few_shot: bool = True         # include few-shot examples when planning
+    max_observations: int = 6     # observations fed into each mapping prompt
+
+
+@dataclass
+class _StepFailure:
+    """Outcome of a step that could not be completed."""
+
+    event: ErrorEvent
+    should_replan: bool
+
+
+class QueryEngine:
+    """Answers queries end-to-end over one data lake."""
+
+    def __init__(self, lake: DataLake, model: LanguageModel | None = None,
+                 config: EngineConfig | None = None, plan_cache=None):
+        self.lake = lake
+        self.model = model if model is not None else SimulatedBrain()
+        self.config = config or EngineConfig()
+        #: optional :class:`repro.core.batch.PlanCache`; shared across
+        #: engines by the batch runner.
+        self.plan_cache = plan_cache
+        self.last_transcript = Transcript()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def answer(self, query: str) -> QueryResult:
+        """Answer *query*, returning a :class:`QueryResult` with full trace."""
+        trace = PlanTrace(query=query)
+        transcript = Transcript()
+        self.last_transcript = transcript
+        started = time.perf_counter()
+        try:
+            result = self._answer(query, trace, transcript)
+        finally:
+            self._tick(trace, "total", started)
+        return result
+
+    @property
+    def fingerprint(self) -> str:
+        """Fingerprint of the lake, used as part of the plan-cache key.
+
+        Recomputed per access (it is a handful of sha256 updates), so a
+        lake mutated through ``DataLake.add`` after engine construction
+        never reuses stale cache keys.
+        """
+        return self.lake.fingerprint()
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def _answer(self, query: str, trace: PlanTrace,
+                transcript: Transcript) -> QueryResult:
+        hints: list[ColumnHint] = []
+        if self.config.use_discovery:
+            hints = self._discover(query, trace, transcript)
+
+        replans = 0
+        planning_feedback = ""
+        while True:
+            try:
+                plan, from_cache = self._plan(query, hints, trace, transcript,
+                                              error_feedback=planning_feedback)
+            except ReproError as exc:
+                trace.errors.append(ErrorEvent("planning", None, str(exc)))
+                return QueryResult(kind="error", error=str(exc), trace=trace)
+            trace.logical_plan = plan
+            trace.physical_steps = []
+            trace.observations = []
+            outcome = self._run_plan(query, plan, hints, trace, transcript)
+            if isinstance(outcome, QueryResult):
+                if (outcome.ok and self.plan_cache is not None
+                        and not from_cache):
+                    self.plan_cache.put((query, self.fingerprint), plan)
+                return outcome
+            # _StepFailure
+            if outcome.should_replan and replans < self.config.max_replans:
+                outcome.event.recovered = True
+                replans += 1
+                trace.replans = replans
+                planning_feedback = outcome.event.message
+                continue
+            return QueryResult(kind="error", error=outcome.event.message,
+                               trace=trace)
+
+    def _discover(self, query: str, trace: PlanTrace,
+                  transcript: Transcript) -> list[ColumnHint]:
+        started = time.perf_counter()
+        try:
+            messages = build_discovery_prompt(self.lake, query)
+            response = self.model.complete(messages)
+            transcript.record("discovery", messages, response)
+            pairs = parse_relevant_columns(response)
+            hints = []
+            for table_name, column in pairs:
+                if table_name not in self.lake:
+                    continue
+                table = self.lake.table(table_name)
+                if column not in table.column_names:
+                    continue
+                hints.append(ColumnHint(table_name, column,
+                                        table.sample_values(column)))
+            return hints
+        except ReproError as exc:
+            trace.errors.append(ErrorEvent(
+                "planning", None, f"discovery failed: {exc}", recovered=True))
+            return []
+        finally:
+            self._tick(trace, "discovery", started)
+
+    def _plan(self, query: str, hints: list[ColumnHint], trace: PlanTrace,
+              transcript: Transcript,
+              error_feedback: str = "") -> tuple[LogicalPlan, bool]:
+        started = time.perf_counter()
+        try:
+            # A replan must not reuse the plan that just failed: bypass the
+            # cache whenever error feedback is present.
+            if self.plan_cache is not None and not error_feedback:
+                cached = self.plan_cache.get((query, self.fingerprint))
+                if cached is not None:
+                    return cached, True
+            messages = build_planning_prompt(self.lake, query, hints,
+                                             few_shot=self.config.few_shot,
+                                             error_feedback=error_feedback)
+            response = self.model.complete(messages)
+            transcript.record("planning", messages, response)
+            return parse_logical_plan(response), False
+        finally:
+            self._tick(trace, "planning", started)
+
+    def _run_plan(self, query: str, plan: LogicalPlan,
+                  hints: list[ColumnHint], trace: PlanTrace,
+                  transcript: Transcript) -> QueryResult | _StepFailure:
+        context = ExecutionContext(tables={
+            name: self.lake.table(name) for name in self.lake.source_names})
+        cards = all_cards()
+        observations: list[str] = []
+        last_table: Table | None = None
+        last_plot: PlotSpec | None = None
+
+        for step in plan:
+            feedback = ""
+            step_events: list[ErrorEvent] = []
+            succeeded = False
+            for _attempt in range(self.config.max_step_retries + 1):
+                phase = "mapping"
+                started = time.perf_counter()
+                try:
+                    window = observations[-self.config.max_observations:]
+                    messages = build_mapping_prompt(
+                        context.tables, cards, step.render(), hints, window,
+                        error_feedback=feedback)
+                    response = self.model.complete(messages)
+                    transcript.record(f"mapping:{step.index}", messages,
+                                      response)
+                    decision = parse_mapping_response(response)
+                    operator = build_operator(decision.operator)
+                    self._tick(trace, "mapping", started)
+                    phase = "execution"
+                    started = time.perf_counter()
+                    result = operator.run(context, decision.arguments)
+                    self._tick(trace, "execution", started)
+                except ReproError as exc:
+                    self._tick(trace, phase, started)
+                    event = ErrorEvent(phase, step.index, str(exc))
+                    trace.errors.append(event)
+                    step_events.append(event)
+                    analysis = self._analyze_error(query, plan, step, exc,
+                                                   transcript)
+                    if analysis is not None and analysis.backtrack_to_planning:
+                        return _StepFailure(event, should_replan=True)
+                    feedback = str(exc)
+                    continue
+                # Success: earlier failures of this step were recovered.
+                for event in step_events:
+                    event.recovered = True
+                trace.physical_steps.append(PhysicalStep(
+                    logical=step, operator=operator.name,
+                    arguments=decision.arguments,
+                    reasoning=decision.reasoning))
+                observation = (result.observation
+                               or f"Step {step.index} produced no output.")
+                observations.append(observation)
+                trace.observations.append(Observation(step.index,
+                                                      observation))
+                if result.plot is not None:
+                    last_plot = result.plot
+                if result.table is not None:
+                    last_table = result.table
+                    if step.output and step.output != "plot":
+                        context.bind(step.output, result.table)
+                succeeded = True
+                break
+            if not succeeded:
+                return _StepFailure(step_events[-1], should_replan=False)
+        return self._finalize(trace, last_table, last_plot)
+
+    def _analyze_error(self, query: str, plan: LogicalPlan,
+                       step: LogicalStep, error: Exception,
+                       transcript: Transcript) -> ErrorAnalysis | None:
+        try:
+            messages = build_error_prompt(query, plan.render(), step.render(),
+                                          str(error))
+            response = self.model.complete(messages)
+            transcript.record(f"error:{step.index}", messages, response)
+            return parse_error_analysis(response)
+        except ReproError:
+            return None
+
+    def _finalize(self, trace: PlanTrace, table: Table | None,
+                  plot: PlotSpec | None) -> QueryResult:
+        if plot is not None:
+            return QueryResult(kind="plot", plot=plot, table=table,
+                               trace=trace)
+        if table is None:
+            trace.errors.append(ErrorEvent(
+                "execution", None, "plan produced no result table"))
+            return QueryResult(kind="error",
+                               error="plan produced no result table",
+                               trace=trace)
+        if table.num_rows == 1 and table.num_columns == 1:
+            value = table.column(table.column_names[0])[0]
+            return QueryResult(kind="value", value=value, table=table,
+                               trace=trace)
+        return QueryResult(kind="table", table=table, trace=trace)
+
+    @staticmethod
+    def _tick(trace: PlanTrace, phase: str, started: float) -> None:
+        elapsed = time.perf_counter() - started
+        trace.timings[phase] = trace.timings.get(phase, 0.0) + elapsed

@@ -116,6 +116,9 @@ class PlanTrace:
     observations: list[Observation] = field(default_factory=list)
     errors: list[ErrorEvent] = field(default_factory=list)
     replans: int = 0
+    #: wall-clock seconds per phase ("discovery" / "planning" / "mapping" /
+    #: "execution" / "total"), filled in by the engine.
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def crashed(self) -> bool:

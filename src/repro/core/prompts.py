@@ -127,8 +127,13 @@ def render_hints(hints: list[ColumnHint]) -> str:
 
 def build_planning_prompt(lake: DataLake, query: str,
                           hints: list[ColumnHint],
-                          few_shot: bool = True) -> list[ChatMessage]:
-    """The Planning Phase prompt (Figure 3, left)."""
+                          few_shot: bool = True,
+                          error_feedback: str = "") -> list[ChatMessage]:
+    """The Planning Phase prompt (Figure 3, left).
+
+    *error_feedback* carries the failure that triggered a replan, so the
+    model can avoid repeating the flawed plan (Section 3.2 backtracking).
+    """
     sections = []
     if few_shot:
         sections.append(FEW_SHOT_EXAMPLES)
@@ -141,6 +146,9 @@ def build_planning_prompt(lake: DataLake, query: str,
     hint_text = render_hints(hints)
     if hint_text:
         body += "\n" + hint_text
+    if error_feedback:
+        body += (f"\nA previous plan failed with this error: "
+                 f"{error_feedback}\nProduce a plan that avoids it.")
     return [system("\n\n".join(sections)), human(body)]
 
 

@@ -11,6 +11,7 @@ in regular joins.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.data.table import Table
@@ -95,3 +96,17 @@ class DataLake:
         """All schema lines, one per source, for prompt construction."""
         return "\n".join(f" - {s.prompt_repr()}"
                          for s in self.sources.values())
+
+    def fingerprint(self) -> str:
+        """Stable digest of the lake's shape (names, schemas, row counts).
+
+        Two lakes with the same sources, schemas, and cardinalities share a
+        fingerprint; plan caches key on ``(query, fingerprint)`` so cached
+        plans never leak across structurally different lakes.
+        """
+        digest = hashlib.sha256()
+        for name in sorted(self.sources):
+            source = self.sources[name]
+            digest.update(source.prompt_repr().encode("utf-8"))
+            digest.update(source.kind.value.encode("utf-8"))
+        return digest.hexdigest()[:16]

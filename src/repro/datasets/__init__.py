@@ -1,16 +1,42 @@
 """Synthetic multi-modal datasets mirroring the paper's two workloads."""
 
+from repro.data.catalog import DataLake
 from repro.datasets.artwork import (ArtworkDataset, GENRE_OBJECT_POOLS,
                                     MOVEMENT_ERAS, generate_artwork_dataset)
 from repro.datasets.rotowire import (RotowireDataset, TEAMS,
                                      generate_rotowire_dataset)
 
+
+_GENERATORS = {
+    "artwork": generate_artwork_dataset,
+    "rotowire": generate_rotowire_dataset,
+}
+
+DATASET_NAMES = tuple(sorted(_GENERATORS))
+
+
+def load_lake(name: str, seed: int | None = None) -> DataLake:
+    """Generate the named dataset and package it as a :class:`DataLake`.
+
+    Entry point used by the CLI and the test harness; *seed* of ``None``
+    means the dataset's default seed.
+    """
+    if name not in _GENERATORS:
+        raise KeyError(f"unknown dataset {name!r}; available: "
+                       f"{', '.join(DATASET_NAMES)}")
+    generator = _GENERATORS[name]
+    dataset = generator() if seed is None else generator(seed=seed)
+    return dataset.as_lake()
+
+
 __all__ = [
     "ArtworkDataset",
+    "DATASET_NAMES",
     "GENRE_OBJECT_POOLS",
     "MOVEMENT_ERAS",
     "RotowireDataset",
     "TEAMS",
     "generate_artwork_dataset",
     "generate_rotowire_dataset",
+    "load_lake",
 ]

@@ -1,0 +1,5 @@
+"""The (simulated) language model: chat interface, NL parser, plan brain.
+
+Import submodules explicitly (``repro.llm.brain``, ``repro.llm.nl``) —
+``repro.llm.interface`` stays import-light for protocol consumers.
+"""

@@ -424,12 +424,20 @@ def _parse_measure(query: str, tables: dict[str, PromptTable],
     # Aggregates over plain columns ("the average height of all players",
     # "the earliest inception date").
     if agg:
+        # Pick the synonym that appears *earliest* in the query, so that
+        # "the average height per position" measures height, not position.
+        best_match: tuple[int, tuple[str, str]] | None = None
         for noun, column in _COLUMN_SYNONYMS.items():
-            if re.search(rf"\b{re.escape(noun)}\b", lowered):
-                located = _find_column(tables, column)
-                if located:
-                    return Measure(kind="column", agg=agg, column=located[1],
-                                   table=located[0])
+            match = re.search(rf"\b{re.escape(noun)}\b", lowered)
+            if match is None:
+                continue
+            located = _find_column(tables, column)
+            if located and (best_match is None
+                            or match.start() < best_match[0]):
+                best_match = (match.start(), located)
+        if best_match:
+            table, column = best_match[1]
+            return Measure(kind="column", agg=agg, column=column, table=table)
         date_col = _date_column(tables)
         if date_col and re.search(r"\b(date|inception)\b", lowered):
             return Measure(kind="column", agg=agg, column=date_col[1],

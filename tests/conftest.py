@@ -1,0 +1,26 @@
+"""Shared fixtures: generated datasets are session-scoped (generation and
+image rendering are the expensive part of the suite)."""
+
+import pytest
+
+from repro.datasets import generate_artwork_dataset, generate_rotowire_dataset
+
+
+@pytest.fixture(scope="session")
+def rotowire_dataset():
+    return generate_rotowire_dataset()
+
+
+@pytest.fixture(scope="session")
+def artwork_dataset():
+    return generate_artwork_dataset()
+
+
+@pytest.fixture(scope="session")
+def rotowire_lake(rotowire_dataset):
+    return rotowire_dataset.as_lake()
+
+
+@pytest.fixture(scope="session")
+def artwork_lake(artwork_dataset):
+    return artwork_dataset.as_lake()

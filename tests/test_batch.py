@@ -1,0 +1,89 @@
+"""Tests for the batch runner and the LRU plan cache."""
+
+import pytest
+
+from repro.core.batch import BatchRunner, PlanCache
+from repro.core.plan import LogicalPlan, LogicalStep
+
+BATCH = [
+    "How many players are taller than 200?",
+    "How many games did the Heat win?",
+    "List the names of players taller than 200.",
+    "Plot the average height of players per position.",
+    "Who is the tallest player?",
+    "How many players are taller than 200?",
+    "How many games did the Heat win?",
+    "Plot the average height of players per position.",
+    "Who is the tallest player?",
+    "List the names of players taller than 200.",
+    "How many players are taller than 200?",
+    "Who is the tallest player?",
+]
+
+
+def _plan(tag: str) -> LogicalPlan:
+    return LogicalPlan(steps=[LogicalStep(index=1, description=tag)])
+
+
+def test_cache_hits_and_misses():
+    cache = PlanCache(capacity=4)
+    assert cache.get(("q", "fp")) is None
+    cache.put(("q", "fp"), _plan("a"))
+    assert cache.get(("q", "fp")) is not None
+    assert ("q", "fp") in cache
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_cache_is_keyed_on_fingerprint_too():
+    cache = PlanCache(capacity=4)
+    cache.put(("q", "fp1"), _plan("a"))
+    assert cache.get(("q", "fp2")) is None
+
+
+def test_cache_evicts_least_recently_used():
+    cache = PlanCache(capacity=2)
+    cache.put(("a", "fp"), _plan("a"))
+    cache.put(("b", "fp"), _plan("b"))
+    assert cache.get(("a", "fp")) is not None  # refresh "a"
+    cache.put(("c", "fp"), _plan("c"))         # evicts "b"
+    assert cache.evictions == 1
+    assert ("b", "fp") not in cache
+    assert ("a", "fp") in cache and ("c", "fp") in cache
+
+
+def test_cache_rejects_non_positive_capacity():
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0)
+
+
+def test_batch_runner_reports_cache_and_timings(rotowire_lake):
+    runner = BatchRunner(rotowire_lake, cache_size=32)
+    report = runner.run(BATCH)
+
+    assert report.num_queries == len(BATCH) >= 10
+    assert report.num_errors == 0, [s.query for s in report.stats
+                                    if not s.ok]
+    # 5 distinct queries, 7 repeats → the cache must have hit.
+    assert report.cache_misses == 5
+    assert report.cache_hits == 7
+    assert report.cache_hit_rate > 0.5
+    assert [s.cache_hit for s in report.stats[:5]] == [False] * 5
+    assert all(s.cache_hit for s in report.stats[5:])
+    # Per-stage wall clock is accounted for.
+    for stage in ("discovery", "planning", "mapping", "execution"):
+        assert stage in report.timings
+        assert report.timings[stage] >= 0.0
+    assert report.wall_seconds > 0.0
+    assert report.total_steps == sum(s.steps for s in report.stats) > 0
+
+
+def test_batch_report_renders_summary(rotowire_lake):
+    runner = BatchRunner(rotowire_lake, cache_size=32)
+    report = runner.run(BATCH[:3])
+    text = report.render()
+    assert "plan cache" in text
+    assert "per-stage wall clock" in text
+    assert "execution" in text
+    for stat in report.stats:
+        assert stat.query in text

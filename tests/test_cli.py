@@ -1,0 +1,61 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.cli import main, read_batch_file
+
+
+def test_cli_single_value_query(capsys):
+    code = main(["--dataset", "rotowire",
+                 "--query", "How many players are taller than 200?"])
+    assert code == 0
+    assert "value:" in capsys.readouterr().out
+
+
+def test_cli_plot_query_renders_ascii(capsys):
+    code = main(["--dataset", "rotowire", "--trace",
+                 "--query", "Plot the average height of players "
+                            "per position."])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "[bar]" in out
+    assert "step 1:" in out  # --trace prints the physical plan
+
+
+def test_cli_error_exit_code(capsys):
+    code = main(["--dataset", "rotowire", "--query", "levitate please"])
+    assert code == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_cli_batch_mode(tmp_path, capsys):
+    batch = tmp_path / "queries.txt"
+    batch.write_text("# smoke batch\n"
+                     "How many players are taller than 200?\n"
+                     "\n"
+                     "How many players are taller than 200?\n",
+                     encoding="utf-8")
+    code = main(["--dataset", "rotowire", "--batch", str(batch)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "plan cache: 1 hits, 1 misses" in out
+
+
+def test_cli_empty_batch_file(tmp_path, capsys):
+    batch = tmp_path / "empty.txt"
+    batch.write_text("# nothing here\n", encoding="utf-8")
+    code = main(["--dataset", "rotowire", "--batch", str(batch)])
+    assert code == 2
+    assert "no queries found" in capsys.readouterr().err
+
+
+def test_read_batch_file_skips_comments_and_blanks(tmp_path):
+    batch = tmp_path / "queries.txt"
+    batch.write_text("# a comment\n\nquery one\n  query two  \n",
+                     encoding="utf-8")
+    assert read_batch_file(str(batch)) == ["query one", "query two"]
+
+
+def test_cli_requires_query_or_batch(capsys):
+    with pytest.raises(SystemExit):
+        main(["--dataset", "rotowire"])

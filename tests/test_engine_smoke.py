@@ -1,0 +1,146 @@
+"""End-to-end smoke tests: the engine answers real queries on both lakes.
+
+Each dataset is exercised with at least one value-, one table-, and one
+plot-kind query; where ground truth is cheap to compute we also check the
+answer, not just the shape.
+"""
+
+import pytest
+
+from repro.core.engine import EngineConfig, QueryEngine
+from repro.core.prompts import PLANNING_MARKER
+from repro.errors import LLMError
+from repro.llm.brain import SimulatedBrain
+
+ROTOWIRE_QUERIES = [
+    ("How many players are taller than 200?", "value"),
+    ("How many games did the Heat win?", "value"),
+    ("List the names of players taller than 200.", "table"),
+    ("Who is the tallest player?", "value"),
+    ("Plot the average height of players per position.", "plot"),
+    ("Plot the total number of points scored by each team.", "plot"),
+]
+
+ARTWORK_QUERIES = [
+    ("How many paintings belong to the 'Impressionism' movement?", "value"),
+    ("What is the earliest inception date of all paintings?", "value"),
+    ("How many paintings are depicting a sword?", "value"),
+    ("For each movement, how many paintings are there?", "table"),
+    ("List the titles of paintings of the 'Baroque' movement.", "table"),
+    ("Plot the number of paintings for each century.", "plot"),
+]
+
+
+def _assert_trace_shape(result):
+    trace = result.trace
+    assert trace is not None
+    assert trace.logical_plan is not None and len(trace.logical_plan) >= 1
+    assert len(trace.physical_steps) == len(trace.logical_plan)
+    assert len(trace.observations) == len(trace.physical_steps)
+    assert not trace.crashed
+    assert trace.operators_used()
+    for phase in ("discovery", "planning", "mapping", "execution", "total"):
+        assert trace.timings.get(phase, 0.0) >= 0.0
+    assert "total" in trace.timings
+
+
+@pytest.mark.parametrize("query,kind", ROTOWIRE_QUERIES)
+def test_rotowire_end_to_end(rotowire_lake, query, kind):
+    result = QueryEngine(rotowire_lake).answer(query)
+    assert result.ok, result.error
+    assert result.kind == kind
+    _assert_trace_shape(result)
+
+
+@pytest.mark.parametrize("query,kind", ARTWORK_QUERIES)
+def test_artwork_end_to_end(artwork_lake, query, kind):
+    result = QueryEngine(artwork_lake).answer(query)
+    assert result.ok, result.error
+    assert result.kind == kind
+    _assert_trace_shape(result)
+
+
+def test_value_answer_matches_ground_truth(rotowire_dataset, rotowire_lake):
+    result = QueryEngine(rotowire_lake).answer(
+        "How many players are taller than 200?")
+    expected = sum(1 for height in
+                   rotowire_dataset.players.column("height_cm")
+                   if height > 200)
+    assert result.value == expected
+
+
+def test_text_answer_matches_ground_truth(rotowire_dataset, rotowire_lake):
+    result = QueryEngine(rotowire_lake).answer(
+        "How many games did the Heat win?")
+    expected = sum(1 for box in rotowire_dataset.box_scores
+                   if box.winner == "Heat")
+    assert result.value == expected
+
+
+def test_plot_covers_all_paintings(artwork_lake):
+    result = QueryEngine(artwork_lake).answer(
+        "Plot the number of paintings for each century.")
+    assert result.plot is not None
+    assert result.plot.kind == "bar"
+    assert sum(result.plot.y_values) == 120  # every painting in one bucket
+
+
+def test_table_answer_shape(artwork_lake):
+    result = QueryEngine(artwork_lake).answer(
+        "For each movement, how many paintings are there?")
+    assert result.table is not None
+    assert result.table.num_rows == 5  # one row per movement
+    assert sum(result.table.column("count")) == 120
+
+
+def test_unparseable_query_returns_error_result(rotowire_lake):
+    result = QueryEngine(rotowire_lake).answer("please levitate the stadium")
+    assert not result.ok
+    assert result.kind == "error"
+    assert result.trace is not None and result.trace.crashed
+
+
+class _OneBadPlanModel:
+    """Delegates to SimulatedBrain but botches the first planning call."""
+
+    name = "one-bad-plan"
+
+    def __init__(self):
+        self._brain = SimulatedBrain()
+        self._bad_plans_left = 1
+
+    def complete(self, messages):
+        text = "\n\n".join(message.content for message in messages)
+        if PLANNING_MARKER in text and self._bad_plans_left:
+            self._bad_plans_left -= 1
+            return ("Step 1: Count the number of rows of the "
+                    "'missing_table' table into the 'count' column.\n"
+                    "Input: ['missing_table']\n"
+                    "Output: result_table\n"
+                    "New Columns: ['count']\n"
+                    "Step 2: Plan completed.")
+        return self._brain.complete(messages)
+
+
+def test_engine_recovers_via_replanning(rotowire_lake):
+    engine = QueryEngine(rotowire_lake, model=_OneBadPlanModel())
+    result = engine.answer("How many players are taller than 200?")
+    assert result.ok, result.error
+    assert result.trace.replans == 1
+    assert result.trace.errors  # the failed attempt is on record
+    assert not result.trace.crashed  # ... and marked recovered
+
+
+class _BrokenModel:
+    name = "broken"
+
+    def complete(self, messages):
+        raise LLMError("no brain today")
+
+
+def test_engine_surfaces_planning_failure(rotowire_lake):
+    engine = QueryEngine(rotowire_lake, model=_BrokenModel(),
+                         config=EngineConfig(use_discovery=False))
+    result = engine.answer("How many players are taller than 200?")
+    assert not result.ok
+    assert "no brain today" in result.error

@@ -1,0 +1,53 @@
+"""Unit tests for the operator registry and argument validation."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators import (PlotOperator, SQLOperator, VisualQAOperator,
+                             build_operator, operator_names)
+
+
+def test_registry_contains_all_six_operators():
+    names = operator_names()
+    assert set(names) >= {"SQL", "Visual Question Answering",
+                          "Image Select", "Text Question Answering",
+                          "Python", "Plot"}
+
+
+def test_build_operator_exact_and_case_insensitive():
+    assert isinstance(build_operator("SQL"), SQLOperator)
+    assert isinstance(build_operator("sql"), SQLOperator)
+    assert isinstance(build_operator("  Plot "), PlotOperator)
+
+
+def test_build_operator_tolerates_suffixed_name():
+    # The model may write "SQL (Join)" for "SQL".
+    assert isinstance(build_operator("SQL (Join)"), SQLOperator)
+
+
+def test_build_operator_tolerates_prefix_name():
+    assert isinstance(build_operator("Visual Question"), VisualQAOperator)
+
+
+def test_build_operator_unknown_lists_available():
+    with pytest.raises(OperatorError) as excinfo:
+        build_operator("Teleport")
+    message = str(excinfo.value)
+    assert "unknown operator 'Teleport'" in message
+    assert "SQL" in message  # the available operators are listed
+
+
+def test_require_args_error_text():
+    operator = PlotOperator()
+    with pytest.raises(OperatorError) as excinfo:
+        operator.require_args(["a", "b"], 4)
+    message = str(excinfo.value)
+    assert "Plot expects 4 arguments" in message
+    assert "got 2" in message
+    assert "(a; b)" in message
+
+
+def test_require_args_strips_whitespace():
+    operator = PlotOperator()
+    assert operator.require_args([" a ", "b", " c", "d "], 4) == \
+        ["a", "b", "c", "d"]

@@ -1,0 +1,62 @@
+"""Unit tests for logical plans: dataflow graph and text round-trips."""
+
+from repro.core.parsing import parse_logical_plan
+from repro.core.plan import ErrorEvent, LogicalPlan, LogicalStep, PlanTrace
+
+
+def _two_step_plan() -> LogicalPlan:
+    return LogicalPlan(steps=[
+        LogicalStep(index=1,
+                    description="Join the 'teams' and 'teams_to_games' "
+                                "tables on the 'name' column.",
+                    inputs=["teams", "teams_to_games"],
+                    output="joined_table"),
+        LogicalStep(index=2,
+                    description="Count the number of rows of the "
+                                "'joined_table' table into the 'count' "
+                                "column.",
+                    inputs=["joined_table"],
+                    output="result_table",
+                    new_columns=["count"]),
+    ], thought="join then count")
+
+
+def test_dataflow_graph_nodes_and_edges():
+    graph = _two_step_plan().dataflow_graph()
+    assert graph.nodes["step:1"]["kind"] == "step"
+    assert graph.nodes["teams"]["kind"] == "table"
+    assert graph.has_edge("teams", "step:1")
+    assert graph.has_edge("teams_to_games", "step:1")
+    assert graph.has_edge("step:1", "joined_table")
+    assert graph.has_edge("joined_table", "step:2")
+    assert graph.has_edge("step:2", "result_table")
+    # 2 step nodes + 4 table nodes, edges form a DAG.
+    assert len(graph.nodes) == 6
+    assert len(graph.edges) == 5
+
+
+def test_dataflow_graph_of_empty_plan_is_empty():
+    graph = LogicalPlan().dataflow_graph()
+    assert len(graph.nodes) == 0
+
+
+def test_render_parse_round_trip():
+    plan = _two_step_plan()
+    parsed = parse_logical_plan(plan.render())
+    assert parsed.thought == plan.thought
+    assert len(parsed) == len(plan)
+    for original, recovered in zip(plan, parsed):
+        assert recovered.index == original.index
+        assert recovered.description == original.description
+        assert recovered.inputs == original.inputs
+        assert recovered.output == original.output
+        assert recovered.new_columns == original.new_columns
+
+
+def test_trace_crashed_reflects_unrecovered_errors():
+    trace = PlanTrace(query="q")
+    assert not trace.crashed
+    trace.errors.append(ErrorEvent("execution", 1, "boom", recovered=True))
+    assert not trace.crashed
+    trace.errors.append(ErrorEvent("mapping", 2, "boom"))
+    assert trace.crashed

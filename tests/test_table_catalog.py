@@ -1,0 +1,71 @@
+"""Unit tests for Table and DataLake round-trips."""
+
+import pytest
+
+from repro.data import (ColumnSpec, DataLake, DataType, Schema, SourceKind,
+                        Table)
+from repro.errors import UnknownTableError
+
+_SCHEMA = Schema([
+    ColumnSpec("name", DataType.STRING),
+    ColumnSpec("height_cm", DataType.INTEGER),
+])
+
+_ROWS = [("Ann", 180), ("Bob", 195), ("Cid", 201)]
+
+
+def _table() -> Table:
+    return Table.from_rows(_SCHEMA, _ROWS)
+
+
+def test_table_from_rows_round_trip():
+    table = _table()
+    assert table.num_rows == 3
+    assert table.column_names == ["name", "height_cm"]
+    assert list(table.row_tuples()) == _ROWS
+    assert table.row(1) == {"name": "Bob", "height_cm": 195}
+
+
+def test_table_from_dicts_missing_keys_become_none():
+    table = Table.from_dicts(_SCHEMA, [{"name": "Ann"}])
+    assert table.column("height_cm") == [None]
+
+
+def test_table_filter_project_rename():
+    table = _table()
+    tall = table.filter([height > 190 for height in table.column("height_cm")])
+    assert tall.column("name") == ["Bob", "Cid"]
+    names = tall.project(["name"]).rename({"name": "player"})
+    assert names.column_names == ["player"]
+    assert names.column("player") == ["Bob", "Cid"]
+
+
+def test_table_equality_round_trip():
+    table = _table()
+    again = Table.from_dicts(_SCHEMA, list(table.rows()))
+    assert table.equals(again)
+    assert table.equals(again.take([2, 1, 0]), ignore_order=True)
+
+
+def test_lake_add_resolve_subset():
+    lake = DataLake(name="test")
+    lake.add_table("players", _table(), description="the players")
+    assert "players" in lake
+    assert len(lake) == 1
+    assert lake.table("players").num_rows == 3
+    assert lake.source("players").kind is SourceKind.TABLE
+    subset = lake.subset(["players"])
+    assert subset.source_names == ["players"]
+    with pytest.raises(UnknownTableError):
+        lake.table("nope")
+
+
+def test_lake_fingerprint_is_stable_and_shape_sensitive():
+    lake_a = DataLake(name="a").add_table("players", _table())
+    lake_b = DataLake(name="b").add_table("players", _table())
+    # Same sources/schemas/row counts → same fingerprint, name is irrelevant.
+    assert lake_a.fingerprint() == lake_b.fingerprint()
+    # A different shape → different fingerprint.
+    lake_c = DataLake(name="c").add_table(
+        "players", Table.from_rows(_SCHEMA, _ROWS[:2]))
+    assert lake_a.fingerprint() != lake_c.fingerprint()
