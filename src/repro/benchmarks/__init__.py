@@ -1,0 +1,19 @@
+"""Benchmark harness: fixed workloads, several worker counts, JSON trail.
+
+``repro bench`` (see :mod:`repro.benchmarks.harness`) runs the workloads in
+:mod:`repro.benchmarks.workloads` through :class:`~repro.core.batch.
+ParallelBatchRunner` at each requested worker count and emits
+``BENCH_parallel.json`` — the machine-readable throughput record CI uploads
+on every run.
+"""
+
+from repro.benchmarks.harness import BenchConfig, main, run_benchmark
+from repro.benchmarks.workloads import WORKLOADS, workload
+
+__all__ = [
+    "BenchConfig",
+    "WORKLOADS",
+    "main",
+    "run_benchmark",
+    "workload",
+]

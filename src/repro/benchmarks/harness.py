@@ -1,0 +1,218 @@
+"""The ``repro bench`` harness.
+
+Runs a dataset's fixed workload (:mod:`repro.benchmarks.workloads`) through
+:class:`~repro.core.batch.ParallelBatchRunner` at several worker counts.
+Every worker count gets a fresh runner (fresh caches) and two passes over
+the workload:
+
+- a **cold** pass that populates the plan cache and the answer cache, and
+- a **warm** pass on the now-hot caches — the steady-state a long-running
+  service converges to, and the configuration the speedup claims are made
+  on.
+
+The planner model runs with a configurable simulated inference latency
+(``--llm-latency-ms``, see :class:`~repro.llm.brain.SimulatedBrain`): in a
+production deployment every planning/mapping step is a remote LLM round
+trip, so worker scaling is measured against that latency-bound profile
+rather than against a zero-latency simulator.  ``--llm-latency-ms 0``
+measures the pure-CPU profile instead.
+
+Results land in ``BENCH_parallel.json`` (``--output``), with warm
+throughput speedups computed against the 1-worker run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.benchmarks.workloads import workload
+from repro.cli import _positive_float, _positive_int
+from repro.core.batch import BatchReport, ParallelBatchRunner
+from repro.datasets import DATASET_NAMES, load_lake
+from repro.llm.brain import SimulatedBrain
+
+DEFAULT_WORKERS = (1, 2, 4)
+DEFAULT_SCALE = 10.0
+DEFAULT_LLM_LATENCY_MS = 10.0
+DEFAULT_OUTPUT = "BENCH_parallel.json"
+
+
+@dataclass
+class BenchConfig:
+    """One benchmark invocation."""
+
+    dataset: str = "artwork"
+    scale: float = DEFAULT_SCALE
+    seed: int | None = None
+    workers: tuple[int, ...] = DEFAULT_WORKERS
+    repeats: int = 3
+    llm_latency_ms: float = DEFAULT_LLM_LATENCY_MS
+    plan_cache_size: int = 128
+    output: str | None = DEFAULT_OUTPUT
+    quiet: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            raise ValueError("at least one worker count is required")
+        if any(w <= 0 for w in self.workers):
+            raise ValueError(f"worker counts must be positive: "
+                             f"{self.workers}")
+        if self.repeats <= 0:
+            raise ValueError(f"repeats must be positive, got {self.repeats}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.llm_latency_ms < 0:
+            raise ValueError("llm latency must be non-negative")
+
+
+def _say(config: BenchConfig, message: str) -> None:
+    if not config.quiet:
+        print(f"[bench] {message}", flush=True)
+
+
+def run_benchmark(config: BenchConfig) -> dict:
+    """Run the benchmark described by *config* and return the JSON record.
+
+    When ``config.output`` is set, the record is also written there.
+    """
+    queries = workload(config.dataset, repeats=config.repeats)
+    _say(config, f"generating {config.dataset} lake at scale "
+                 f"{config.scale:g} ...")
+    generated = time.perf_counter()
+    lake = load_lake(config.dataset, seed=config.seed, scale=config.scale)
+    generation_seconds = time.perf_counter() - generated
+    lake_rows = {name: lake.table(name).num_rows
+                 for name in lake.source_names}
+    _say(config, f"lake ready in {generation_seconds:.1f}s "
+                 f"({', '.join(f'{n}={r}' for n, r in lake_rows.items())})")
+    _say(config, f"workload: {len(queries)} queries "
+                 f"({len(set(queries))} unique), llm latency "
+                 f"{config.llm_latency_ms:g}ms")
+
+    runs = []
+    warm_reports: dict[int, BatchReport] = {}
+    for workers in config.workers:
+        runner = ParallelBatchRunner(
+            lake,
+            model=SimulatedBrain(
+                latency_seconds=config.llm_latency_ms / 1000.0),
+            cache_size=config.plan_cache_size,
+            workers=workers)
+        cold = runner.run(queries)
+        warm = runner.run(queries)
+        warm_reports[workers] = warm
+        runs.append({"workers": workers,
+                     "cold": cold.to_dict(),
+                     "warm": warm.to_dict()})
+        _say(config,
+             f"workers={workers}: cold {cold.queries_per_second:6.1f} q/s, "
+             f"warm {warm.queries_per_second:6.1f} q/s "
+             f"(plan hit {warm.cache_hit_rate:.0%}, "
+             f"answer hit {warm.answer_hit_rate:.0%}, "
+             f"{warm.num_errors} errors)")
+
+    speedups: dict[str, float] = {}
+    baseline = warm_reports.get(1)
+    if baseline is not None and baseline.queries_per_second > 0:
+        for workers, report in sorted(warm_reports.items()):
+            ratio = report.queries_per_second / baseline.queries_per_second
+            speedups[str(workers)] = round(ratio, 3)
+            if workers != 1:
+                _say(config, f"warm speedup at {workers} workers: "
+                             f"{ratio:.2f}x vs 1 worker")
+    else:
+        _say(config, "no 1-worker run in --workers; "
+                     "warm speedups vs 1 worker omitted")
+
+    record = {
+        "benchmark": "parallel_batch",
+        "created_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "dataset": config.dataset,
+        "scale": config.scale,
+        "seed": config.seed,
+        "lake_fingerprint": lake.fingerprint(),
+        "lake_rows": lake_rows,
+        "lake_generation_seconds": round(generation_seconds, 3),
+        "queries_per_run": len(queries),
+        "unique_queries": len(set(queries)),
+        "repeats": config.repeats,
+        "llm_latency_ms": config.llm_latency_ms,
+        "runs": runs,
+        "warm_speedup_vs_1_worker": speedups,
+    }
+    if config.output:
+        path = Path(config.output)
+        path.write_text(json.dumps(record, indent=2) + "\n",
+                        encoding="utf-8")
+        _say(config, f"wrote {path}")
+    return record
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Benchmark parallel batch execution and the caches "
+                    "over a scaled data lake.")
+    parser.add_argument("--dataset", choices=DATASET_NAMES,
+                        default="artwork",
+                        help="dataset to benchmark (default: artwork)")
+    parser.add_argument("--scale", type=_positive_float,
+                        default=DEFAULT_SCALE,
+                        help=f"lake scale factor (default: "
+                             f"{DEFAULT_SCALE:g})")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="dataset generation seed")
+    parser.add_argument("--workers", default=",".join(
+                            str(w) for w in DEFAULT_WORKERS),
+                        help="comma-separated worker counts "
+                             "(default: 1,2,4)")
+    parser.add_argument("--repeats", type=_positive_int, default=3,
+                        help="workload repetitions per run (default: 3)")
+    parser.add_argument("--llm-latency-ms", type=float,
+                        default=DEFAULT_LLM_LATENCY_MS,
+                        help="simulated planner-model latency per call in "
+                             "milliseconds (default: "
+                             f"{DEFAULT_LLM_LATENCY_MS:g}; 0 disables)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines")
+    return parser
+
+
+def _parse_workers(text: str) -> tuple[int, ...]:
+    try:
+        workers = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise SystemExit(f"invalid --workers value {text!r}: {exc}")
+    if not workers:
+        raise SystemExit(f"invalid --workers value {text!r}")
+    return workers
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    config = BenchConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        workers=_parse_workers(args.workers),
+        repeats=args.repeats,
+        llm_latency_ms=args.llm_latency_ms,
+        output=args.output,
+        quiet=args.quiet,
+    )
+    record = run_benchmark(config)
+    errors = sum(run[pass_name]["errors"]
+                 for run in record["runs"] for pass_name in ("cold", "warm"))
+    return 0 if errors == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Fixed benchmark workloads, one per dataset.
+
+Each workload mixes the three result kinds (value / table / plot) and both
+cache axes: repeated queries exercise the plan cache, and modality-heavy
+queries (VQA over every painting, TextQA over every report) exercise the
+answer cache.  The lists are fixed on purpose — benchmark numbers are only
+comparable across commits if the workload never drifts.
+"""
+
+from __future__ import annotations
+
+#: Unique queries per dataset; the harness repeats the whole list
+#: ``--repeats`` times to form one run's workload.
+WORKLOADS: dict[str, tuple[str, ...]] = {
+    "artwork": (
+        "How many paintings are depicting a sword?",
+        "How many paintings are depicting a dog?",
+        "List the titles of paintings depicting a crown.",
+        "How many paintings belong to the 'Impressionism' movement?",
+        "For each movement, how many paintings are there?",
+        "What is the earliest inception date of all paintings?",
+        "Plot the number of paintings for each century.",
+    ),
+    "rotowire": (
+        "How many players are taller than 200?",
+        "How many games did the Heat win?",
+        "List the names of players taller than 200.",
+        "Who is the tallest player?",
+        "Plot the average height of players per position.",
+        "Plot the total number of points scored by each team.",
+    ),
+}
+
+
+def workload(dataset: str, repeats: int = 1) -> list[str]:
+    """The fixed workload of *dataset*, repeated *repeats* times."""
+    if dataset not in WORKLOADS:
+        raise KeyError(f"no benchmark workload for dataset {dataset!r}; "
+                       f"available: {', '.join(sorted(WORKLOADS))}")
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    return list(WORKLOADS[dataset]) * repeats

@@ -1,12 +1,15 @@
-"""Command-line entry point: answer one query or run a batch.
+"""Command-line entry point: answer one query, run a batch, or benchmark.
 
 Examples::
 
     python -m repro.cli --dataset rotowire \\
         --query "How many players are taller than 200?"
     python -m repro.cli --dataset artwork --batch queries.txt --cache-size 64
+    python -m repro.cli --dataset artwork --batch queries.txt --workers 4
+    python -m repro.cli bench --dataset artwork --scale 10 --workers 1,2,4
 
-Installed as the ``repro`` console script by ``setup.py``.
+Installed as the ``repro`` console script by ``setup.py``.  The ``bench``
+subcommand forwards to :mod:`repro.benchmarks.harness`.
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core.batch import BatchRunner
+from repro.core.batch import BatchRunner, ParallelBatchRunner
 from repro.core.engine import EngineConfig, QueryEngine
 from repro.core.plan import QueryResult
 from repro.datasets import DATASET_NAMES, load_lake
@@ -30,16 +33,29 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {text!r}")
+    return value
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Answer natural-language queries over a multi-modal "
-                    "data lake (CAESURA reproduction).")
+                    "data lake (CAESURA reproduction).",
+        epilog="Benchmarking: 'repro bench --help' describes the benchmark "
+               "harness.")
     parser.add_argument("--dataset", required=True, choices=DATASET_NAMES,
                         help="which synthetic dataset to load")
     parser.add_argument("--seed", type=int, default=None,
                         help="dataset generation seed (default: the "
                              "dataset's own default)")
+    parser.add_argument("--scale", type=_positive_float, default=1.0,
+                        help="lake scale factor, multiplies the dataset's "
+                             "base cardinality (default: 1.0)")
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--query", help="one natural-language query")
     source.add_argument("--batch", metavar="FILE",
@@ -48,6 +64,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-size", type=_positive_int, default=128,
                         help="LRU plan-cache capacity for batch mode "
                              "(default: 128)")
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="worker threads for batch mode; >1 runs the "
+                             "batch through the parallel runner "
+                             "(default: 1)")
     parser.add_argument("--no-discovery", action="store_true",
                         help="skip the discovery phase (no column hints)")
     parser.add_argument("--trace", action="store_true",
@@ -82,8 +102,14 @@ def _print_result(result: QueryResult, trace: bool) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        from repro.benchmarks.harness import main as bench_main
+        return bench_main(argv[1:])
+
     args = build_arg_parser().parse_args(argv)
-    lake = load_lake(args.dataset, seed=args.seed)
+    lake = load_lake(args.dataset, seed=args.seed, scale=args.scale)
     config = EngineConfig(use_discovery=not args.no_discovery)
 
     if args.batch:
@@ -95,8 +121,13 @@ def main(argv: list[str] | None = None) -> int:
         if not queries:
             print(f"no queries found in {args.batch}", file=sys.stderr)
             return 2
-        runner = BatchRunner(lake, config=config,
-                             cache_size=args.cache_size)
+        if args.workers > 1:
+            runner: BatchRunner | ParallelBatchRunner = ParallelBatchRunner(
+                lake, config=config, cache_size=args.cache_size,
+                workers=args.workers)
+        else:
+            runner = BatchRunner(lake, config=config,
+                                 cache_size=args.cache_size)
         report = runner.run(queries)
         print(report.render())
         return 0 if report.num_errors == 0 else 1

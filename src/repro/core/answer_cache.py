@@ -1,0 +1,124 @@
+"""Answer memoization for the modality models (VQA / TextQA / Image Select).
+
+Execution dominates batch wall-clock (~80%), and almost all of it is spent
+re-answering the same question about the same object: repeated queries, plan
+retries, and overlapping workloads all hit the same ``(object, question)``
+pairs.  :class:`AnswerCache` memoizes those answers across queries *and*
+across worker threads.
+
+Keys are ``(object fingerprint, question, answer type)``:
+
+- the *object fingerprint* is a content digest of the image raster or text
+  document (:meth:`repro.vision.image.Image.fingerprint`,
+  :func:`text_fingerprint`), so a cached answer is only reused for
+  byte-identical inputs — never for a path or table that happens to share a
+  name;
+- the *question* is the fully instantiated question string (templates are
+  expanded per row before lookup);
+- the *answer type* is the declared cast (``int``/``str``/…), so the same
+  question asked with a different cast never aliases.
+
+Because extractive QA legitimately answers ``None`` ("the text does not say"),
+``None`` is a cacheable value; misses are reported with the :data:`MISS`
+sentinel instead.
+
+Thread safety: every operation (lookups, insertions, and the hit/miss/eviction
+counters) is performed under one internal lock, so a single ``AnswerCache``
+may be shared by any number of concurrently executing operators — this is how
+:class:`repro.core.batch.ParallelBatchRunner` shares one cache across its
+worker engines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+#: Sentinel returned by :meth:`AnswerCache.get` for absent keys (``None`` is
+#: a legitimate cached answer).
+MISS = object()
+
+#: ``(object fingerprint, question, answer type)``
+AnswerKey = tuple[str, str, str]
+
+
+def text_fingerprint(document: str) -> str:
+    """Stable content digest of a text document (TextQA cache keys)."""
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()[:24]
+
+
+class AnswerCache:
+    """A bounded, thread-safe LRU cache of modality-model answers.
+
+    All methods are safe to call from multiple threads; see the module
+    docstring for the key discipline.
+    """
+
+    #: re-exported for call sites that only import the class
+    MISS = MISS
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got "
+                             f"{capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[AnswerKey, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: AnswerKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: AnswerKey) -> object:
+        """The cached answer for *key*, or :data:`MISS`."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return MISS
+
+    def put(self, key: AnswerKey, answer: object) -> None:
+        with self._lock:
+            self._entries[key] = answer
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            lookups = self._hits + self._misses
+            return self._hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """A consistent ``(hits, misses, evictions)`` triple."""
+        with self._lock:
+            return self._hits, self._misses, self._evictions

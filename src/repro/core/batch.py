@@ -1,25 +1,41 @@
 """Batch execution: many queries over one warmed data lake.
 
-Throughput scenarios need two things the single-query engine does not give
-us: amortization of the planning phase across repeated queries, and
-aggregate statistics.  This module provides both:
+Throughput scenarios need three things the single-query engine does not give
+us: amortization of the planning phase across repeated queries, amortization
+of modality-model inference across repeated (object, question) pairs, and
+aggregate statistics.  This module provides all three:
 
-- :class:`PlanCache` — an LRU cache of logical plans keyed on
+- :class:`PlanCache` — a thread-safe LRU cache of logical plans keyed on
   ``(query, lake fingerprint)``.  The fingerprint
   (:meth:`~repro.data.catalog.DataLake.fingerprint`) guarantees a cached
   plan is only reused against a structurally identical lake.
-- :class:`BatchRunner` — runs a sequence of queries through one
-  :class:`~repro.core.engine.QueryEngine` sharing one cache, and produces a
-  :class:`BatchReport` with per-stage wall-clock totals, step counts, and
-  the cache hit-rate.
+- :class:`BatchRunner` — runs a sequence of queries serially through one
+  :class:`~repro.core.engine.QueryEngine`, sharing one plan cache and one
+  :class:`~repro.core.answer_cache.AnswerCache`.
+- :class:`ParallelBatchRunner` — fans the same workload out over a pool of
+  worker threads, one engine per worker, all sharing the same two caches.
+  Queries are independent (the sqlite bridge is per-call and lake tables
+  are immutable by convention), so no cross-query coordination is needed.
+
+Both runners produce a :class:`BatchReport` with per-stage wall-clock
+totals, step counts, and cache hit-rates.  Two different clocks are
+reported: ``wall_seconds`` sums per-query totals (*serial-equivalent*
+seconds — what one worker would have spent), while ``elapsed_seconds`` is
+the real wall-clock of the whole batch; throughput is computed from the
+latter, so it stays honest once queries run concurrently.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
+import time
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.core.answer_cache import AnswerCache
 from repro.core.engine import EngineConfig, QueryEngine
 from repro.core.plan import LogicalPlan, QueryResult
 from repro.data.catalog import DataLake
@@ -27,46 +43,80 @@ from repro.llm.interface import LanguageModel
 
 _STAGES = ("discovery", "planning", "mapping", "execution")
 
+DEFAULT_ANSWER_CACHE_SIZE = 65536
+
 
 class PlanCache:
-    """A bounded LRU cache of logical plans."""
+    """A bounded LRU cache of logical plans.
+
+    Thread safety: every operation — lookups, insertions, LRU bookkeeping,
+    and the hit/miss/eviction counters — happens under one internal lock,
+    so a single ``PlanCache`` may be shared by any number of concurrently
+    running :class:`~repro.core.engine.QueryEngine` instances (this is what
+    :class:`ParallelBatchRunner` does).  Cached plans themselves are never
+    mutated by the engine, so handing the same ``LogicalPlan`` object to
+    several threads is safe.
+    """
 
     def __init__(self, capacity: int = 128):
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got "
                              f"{capacity}")
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._entries: OrderedDict[tuple[str, str], LogicalPlan] = \
             OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple[str, str]) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: tuple[str, str]) -> LogicalPlan | None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return self._entries[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return None
 
     def put(self, key: tuple[str, str], plan: LogicalPlan) -> None:
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
 
     @property
     def hit_rate(self) -> float:
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
+        with self._lock:
+            lookups = self._hits + self._misses
+            return self._hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """A consistent ``(hits, misses, evictions)`` triple."""
+        with self._lock:
+            return self._hits, self._misses, self._evictions
 
 
 @dataclass
@@ -83,7 +133,13 @@ class QueryStats:
 
 @dataclass
 class BatchReport:
-    """Aggregate outcome of one batch run."""
+    """Aggregate outcome of one batch run.
+
+    ``wall_seconds`` is *serial-equivalent* time (the sum of per-query
+    totals); ``elapsed_seconds`` is the real wall-clock of the batch.  With
+    one worker the two coincide (up to scheduling overhead); with *N*
+    workers their ratio is the realized speedup.
+    """
 
     stats: list[QueryStats] = field(default_factory=list)
     results: list[QueryResult] = field(default_factory=list)
@@ -91,7 +147,12 @@ class BatchReport:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    answer_hits: int = 0
+    answer_misses: int = 0
+    answer_evictions: int = 0
     wall_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    workers: int = 1
 
     @property
     def num_queries(self) -> int:
@@ -115,22 +176,66 @@ class BatchReport:
         return self.cache_hits / lookups if lookups else 0.0
 
     @property
+    def answer_hit_rate(self) -> float:
+        lookups = self.answer_hits + self.answer_misses
+        return self.answer_hits / lookups if lookups else 0.0
+
+    @property
     def queries_per_second(self) -> float:
-        return (self.num_queries / self.wall_seconds
-                if self.wall_seconds > 0 else 0.0)
+        elapsed = self.elapsed_seconds or self.wall_seconds
+        return self.num_queries / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent over elapsed seconds (realized parallelism)."""
+        return (self.wall_seconds / self.elapsed_seconds
+                if self.elapsed_seconds > 0 else 0.0)
+
+    def to_dict(self) -> dict:
+        """JSON-ready metrics (consumed by the benchmark harness)."""
+        return {
+            "queries": self.num_queries,
+            "ok": self.num_ok,
+            "errors": self.num_errors,
+            "workers": self.workers,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "serial_seconds": round(self.wall_seconds, 6),
+            "queries_per_second": round(self.queries_per_second, 3),
+            "speedup": round(self.speedup, 3),
+            "total_steps": self.total_steps,
+            "stage_seconds": {stage: round(self.timings.get(stage, 0.0), 6)
+                              for stage in _STAGES},
+            "plan_cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "evictions": self.cache_evictions,
+                "hit_rate": round(self.cache_hit_rate, 4),
+            },
+            "answer_cache": {
+                "hits": self.answer_hits,
+                "misses": self.answer_misses,
+                "evictions": self.answer_evictions,
+                "hit_rate": round(self.answer_hit_rate, 4),
+            },
+        }
 
     def render(self) -> str:
         """Plain-text report for the CLI."""
         lines = [
             f"batch: {self.num_queries} queries "
             f"({self.num_ok} ok, {self.num_errors} errors), "
-            f"{self.total_steps} physical steps",
-            f"wall clock: {self.wall_seconds:.3f}s "
-            f"({self.queries_per_second:.1f} queries/s)",
+            f"{self.total_steps} physical steps, {self.workers} worker(s)",
+            f"wall clock: {self.elapsed_seconds:.3f}s elapsed "
+            f"({self.queries_per_second:.1f} queries/s), "
+            f"{self.wall_seconds:.3f}s serial-equivalent "
+            f"(speedup {self.speedup:.2f}x)",
             f"plan cache: {self.cache_hits} hits, {self.cache_misses} "
             f"misses, {self.cache_evictions} evictions "
             f"(hit rate {self.cache_hit_rate:.0%})",
-            "per-stage wall clock:",
+            f"answer cache: {self.answer_hits} hits, {self.answer_misses} "
+            f"misses, {self.answer_evictions} evictions "
+            f"(hit rate {self.answer_hit_rate:.0%})",
+            "per-stage wall clock (serial-equivalent):",
         ]
         for stage in _STAGES:
             seconds = self.timings.get(stage, 0.0)
@@ -147,33 +252,127 @@ class BatchReport:
         return "\n".join(lines)
 
 
+def _fold_result(report: BatchReport, query: str,
+                 result: QueryResult) -> None:
+    """Append one query outcome to *report* (stats, results, timings)."""
+    trace = result.trace
+    timings = trace.timings if trace is not None else {}
+    for stage in _STAGES:
+        report.timings[stage] = (report.timings.get(stage, 0.0)
+                                 + timings.get(stage, 0.0))
+    report.wall_seconds += timings.get("total", 0.0)
+    report.stats.append(QueryStats(
+        query=query, kind=result.kind, ok=result.ok,
+        cache_hit=trace.plan_cache_hit if trace is not None else False,
+        steps=len(trace.physical_steps) if trace else 0,
+        seconds=timings.get("total", 0.0)))
+    report.results.append(result)
+
+
+def _fold_cache_deltas(report: BatchReport, plan_cache: PlanCache,
+                       answer_cache: AnswerCache,
+                       plan_before: tuple[int, int, int],
+                       answer_before: tuple[int, int, int]) -> None:
+    """Report cache activity of *this* run, not the runner's lifetime."""
+    hits, misses, evictions = plan_cache.snapshot()
+    report.cache_hits = hits - plan_before[0]
+    report.cache_misses = misses - plan_before[1]
+    report.cache_evictions = evictions - plan_before[2]
+    hits, misses, evictions = answer_cache.snapshot()
+    report.answer_hits = hits - answer_before[0]
+    report.answer_misses = misses - answer_before[1]
+    report.answer_evictions = evictions - answer_before[2]
+
+
 class BatchRunner:
-    """Executes query batches over one warmed lake with a shared plan cache."""
+    """Executes query batches serially over one warmed lake.
+
+    The plan cache and answer cache live on the runner, so consecutive
+    :meth:`run` calls share warmth (the second run of the same workload is
+    the "warm" measurement of the benchmark harness); each
+    :class:`BatchReport` still only accounts the cache activity of its own
+    run.
+    """
 
     def __init__(self, lake: DataLake, model: LanguageModel | None = None,
-                 config: EngineConfig | None = None, cache_size: int = 128):
+                 config: EngineConfig | None = None, cache_size: int = 128,
+                 answer_cache_size: int = DEFAULT_ANSWER_CACHE_SIZE):
         self.cache = PlanCache(cache_size)
+        self.answer_cache = AnswerCache(answer_cache_size)
         self.engine = QueryEngine(lake, model=model, config=config,
-                                  plan_cache=self.cache)
+                                  plan_cache=self.cache,
+                                  answer_cache=self.answer_cache)
 
     def run(self, queries: Sequence[str] | Iterable[str]) -> BatchReport:
-        report = BatchReport()
+        report = BatchReport(workers=1)
+        plan_before = self.cache.snapshot()
+        answer_before = self.answer_cache.snapshot()
+        started = time.perf_counter()
         for query in queries:
-            hits_before = self.cache.hits
-            result = self.engine.answer(query)
-            trace = result.trace
-            timings = trace.timings if trace is not None else {}
-            for stage in _STAGES:
-                report.timings[stage] = (report.timings.get(stage, 0.0)
-                                         + timings.get(stage, 0.0))
-            report.wall_seconds += timings.get("total", 0.0)
-            report.stats.append(QueryStats(
-                query=query, kind=result.kind, ok=result.ok,
-                cache_hit=self.cache.hits > hits_before,
-                steps=len(trace.physical_steps) if trace else 0,
-                seconds=timings.get("total", 0.0)))
-            report.results.append(result)
-        report.cache_hits = self.cache.hits
-        report.cache_misses = self.cache.misses
-        report.cache_evictions = self.cache.evictions
+            _fold_result(report, query, self.engine.answer(query))
+        report.elapsed_seconds = time.perf_counter() - started
+        _fold_cache_deltas(report, self.cache, self.answer_cache,
+                           plan_before, answer_before)
+        return report
+
+
+class ParallelBatchRunner:
+    """Executes query batches concurrently over one warmed lake.
+
+    A pool of *workers* threads drains the workload; each worker owns a
+    private :class:`~repro.core.engine.QueryEngine` (engines carry per-query
+    mutable state such as the transcript), while all engines share one
+    thread-safe :class:`PlanCache` and one
+    :class:`~repro.core.answer_cache.AnswerCache`.  Results and per-query
+    stats are reported in submission order, so a parallel report is
+    line-for-line comparable with a serial one.
+
+    When *model* is given, the single instance is shared by all workers and
+    must be thread-safe (:class:`~repro.llm.brain.SimulatedBrain` is — it
+    keeps no mutable state across calls).  When it is ``None``, each worker
+    engine gets its own default brain.
+    """
+
+    def __init__(self, lake: DataLake, model: LanguageModel | None = None,
+                 config: EngineConfig | None = None, cache_size: int = 128,
+                 workers: int = 4,
+                 answer_cache_size: int = DEFAULT_ANSWER_CACHE_SIZE):
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        self.cache = PlanCache(cache_size)
+        self.answer_cache = AnswerCache(answer_cache_size)
+        self._engines = [
+            QueryEngine(lake, model=model, config=config,
+                        plan_cache=self.cache,
+                        answer_cache=self.answer_cache)
+            for _ in range(workers)
+        ]
+
+    def run(self, queries: Sequence[str] | Iterable[str]) -> BatchReport:
+        workload = list(queries)
+        report = BatchReport(workers=self.workers)
+        plan_before = self.cache.snapshot()
+        answer_before = self.answer_cache.snapshot()
+
+        idle: queue.SimpleQueue[QueryEngine] = queue.SimpleQueue()
+        for engine in self._engines:
+            idle.put(engine)
+
+        def answer(query: str) -> QueryResult:
+            engine = idle.get()
+            try:
+                return engine.answer(query)
+            finally:
+                idle.put(engine)
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            results = list(pool.map(answer, workload))
+        report.elapsed_seconds = time.perf_counter() - started
+
+        for query, result in zip(workload, results):
+            _fold_result(report, query, result)
+        _fold_cache_deltas(report, self.cache, self.answer_cache,
+                           plan_before, answer_before)
         return report

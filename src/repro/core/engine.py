@@ -72,13 +72,19 @@ class QueryEngine:
     """Answers queries end-to-end over one data lake."""
 
     def __init__(self, lake: DataLake, model: LanguageModel | None = None,
-                 config: EngineConfig | None = None, plan_cache=None):
+                 config: EngineConfig | None = None, plan_cache=None,
+                 answer_cache=None):
         self.lake = lake
         self.model = model if model is not None else SimulatedBrain()
         self.config = config or EngineConfig()
         #: optional :class:`repro.core.batch.PlanCache`; shared across
-        #: engines by the batch runner.
+        #: engines by the batch runners.
         self.plan_cache = plan_cache
+        #: optional :class:`repro.core.answer_cache.AnswerCache`; handed to
+        #: every :class:`~repro.operators.base.ExecutionContext` so the
+        #: modality operators memoize (object, question) answers.  Shared
+        #: across engines by the batch runners.
+        self.answer_cache = answer_cache
         self.last_transcript = Transcript()
 
     # ------------------------------------------------------------------
@@ -127,6 +133,7 @@ class QueryEngine:
                 trace.errors.append(ErrorEvent("planning", None, str(exc)))
                 return QueryResult(kind="error", error=str(exc), trace=trace)
             trace.logical_plan = plan
+            trace.plan_cache_hit = from_cache
             trace.physical_steps = []
             trace.observations = []
             outcome = self._run_plan(query, plan, hints, trace, transcript)
@@ -193,8 +200,10 @@ class QueryEngine:
     def _run_plan(self, query: str, plan: LogicalPlan,
                   hints: list[ColumnHint], trace: PlanTrace,
                   transcript: Transcript) -> QueryResult | _StepFailure:
-        context = ExecutionContext(tables={
-            name: self.lake.table(name) for name in self.lake.source_names})
+        context = ExecutionContext(
+            tables={name: self.lake.table(name)
+                    for name in self.lake.source_names},
+            answer_cache=self.answer_cache)
         cards = all_cards()
         observations: list[str] = []
         last_table: Table | None = None

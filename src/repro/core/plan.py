@@ -119,6 +119,10 @@ class PlanTrace:
     #: wall-clock seconds per phase ("discovery" / "planning" / "mapping" /
     #: "execution" / "total"), filled in by the engine.
     timings: dict[str, float] = field(default_factory=dict)
+    #: True when the logical plan was served from the engine's plan cache
+    #: (batch runners aggregate this instead of diffing cache counters,
+    #: which would race under concurrent execution).
+    plan_cache_hit: bool = False
 
     @property
     def crashed(self) -> bool:

@@ -15,18 +15,23 @@ _GENERATORS = {
 DATASET_NAMES = tuple(sorted(_GENERATORS))
 
 
-def load_lake(name: str, seed: int | None = None) -> DataLake:
+def load_lake(name: str, seed: int | None = None,
+              scale: float = 1.0) -> DataLake:
     """Generate the named dataset and package it as a :class:`DataLake`.
 
-    Entry point used by the CLI and the test harness; *seed* of ``None``
-    means the dataset's default seed.
+    Entry point used by the CLI, the benchmark harness, and the test
+    harness; *seed* of ``None`` means the dataset's default seed, *scale*
+    multiplies the dataset's base cardinality (10k+ paintings / 1k+ games
+    are a ``--scale`` flag away).
     """
     if name not in _GENERATORS:
         raise KeyError(f"unknown dataset {name!r}; available: "
                        f"{', '.join(DATASET_NAMES)}")
     generator = _GENERATORS[name]
-    dataset = generator() if seed is None else generator(seed=seed)
-    return dataset.as_lake()
+    kwargs: dict[str, object] = {"scale": scale}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return generator(**kwargs).as_lake()
 
 
 __all__ = [

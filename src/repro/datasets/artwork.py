@@ -79,8 +79,19 @@ class ArtworkDataset:
 
 
 def generate_artwork_dataset(num_paintings: int = 120, seed: int = 7,
-                             image_size: int = 64) -> ArtworkDataset:
-    """Generate a seeded artwork dataset of *num_paintings* paintings."""
+                             image_size: int = 64,
+                             scale: float = 1.0) -> ArtworkDataset:
+    """Generate a seeded artwork dataset of ``num_paintings * scale``
+    paintings.
+
+    *scale* is the stress-lake multiplier exposed as ``--scale`` on the CLI
+    (``scale=100`` → 12,000 paintings).  Generation is deterministic in
+    ``(seed, scale)``: the same pair always produces byte-identical tables
+    and rasters.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    num_paintings = max(1, round(num_paintings * scale))
     rng = random.Random(seed)
     movements = list(MOVEMENT_ERAS)
     genres = list(GENRE_OBJECT_POOLS)

@@ -99,8 +99,17 @@ class RotowireDataset:
 
 
 def generate_rotowire_dataset(num_games: int = 30, seed: int = 11,
-                              players_per_team: int = 4) -> RotowireDataset:
-    """Generate a seeded rotowire dataset with *num_games* games."""
+                              players_per_team: int = 4,
+                              scale: float = 1.0) -> RotowireDataset:
+    """Generate a seeded rotowire dataset with ``num_games * scale`` games.
+
+    *scale* is the stress-lake multiplier exposed as ``--scale`` on the CLI
+    (``scale=34`` → 1,020 games).  Generation is deterministic in
+    ``(seed, scale)``.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    num_games = max(1, round(num_games * scale))
     rng = random.Random(seed)
 
     team_rows = [list(row) for row in TEAMS]

@@ -17,6 +17,7 @@ the synthesizer directly.
 from __future__ import annotations
 
 import re
+import time
 from collections import deque
 
 from repro.core.parsing import (MappingDecision, PromptTable,
@@ -843,11 +844,28 @@ class SimulatedBrain:
     which phase is being asked for from the prompt markers, and answers in
     the documented output format.  Implements the
     :class:`~repro.llm.interface.LanguageModel` protocol.
+
+    *latency_seconds* emulates the round-trip of a remote endpoint: each
+    ``complete`` call blocks that long (GIL-free, like real network /
+    inference wait) before answering.  The benchmark harness uses it so
+    concurrency measurements reflect the latency-bound behaviour of a
+    production deployment instead of a zero-latency simulator; the default
+    of ``0.0`` keeps tests and interactive runs instant.
+
+    The brain keeps no mutable state across calls, so one instance may be
+    shared by concurrent engines.
     """
 
     name = "simulated-brain"
 
+    def __init__(self, latency_seconds: float = 0.0):
+        if latency_seconds < 0:
+            raise ValueError("latency_seconds must be non-negative")
+        self.latency_seconds = latency_seconds
+
     def complete(self, messages: list[ChatMessage]) -> str:
+        if self.latency_seconds:
+            time.sleep(self.latency_seconds)
         text = "\n\n".join(message.content for message in messages)
         if MAPPING_MARKER in text:
             return self._complete_mapping(text)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.answer_cache import AnswerCache
 from repro.data.table import Table
 from repro.errors import OperatorError, UnknownTableError
 from repro.plotting.spec import PlotSpec
@@ -32,6 +33,10 @@ class ExecutionContext:
     tables: dict[str, Table] = field(default_factory=dict)
     vision_model: Blip2Sim = field(default_factory=Blip2Sim)
     text_model: BartQASim = field(default_factory=BartQASim)
+    #: optional shared :class:`~repro.core.answer_cache.AnswerCache`; when
+    #: set, the VQA / TextQA / Image Select operators memoize model answers
+    #: through it instead of re-running inference.
+    answer_cache: AnswerCache | None = None
 
     def resolve(self, name: str) -> Table:
         if name not in self.tables:

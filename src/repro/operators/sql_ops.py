@@ -8,11 +8,30 @@ survive via object tokens (:mod:`repro.relational.sqlexec`).
 
 from __future__ import annotations
 
+import re
+
+from repro.data.table import Table
 from repro.errors import OperatorError, ReproError
 from repro.operators.base import (ExecutionContext, OperatorCard,
                                   OperatorResult, PhysicalOperator,
                                   register_operator)
 from repro.relational.sqlexec import SQLExecutor
+
+
+def referenced_tables(sql: str, tables: dict[str, Table]) -> dict[str, Table]:
+    """The subset of *tables* whose names occur in *sql*.
+
+    Registering a table into sqlite copies every row, which dominates the
+    execution phase on large lakes, so only tables the statement can
+    actually touch are registered.  Matching is a conservative word-level
+    scan: a name mentioned anywhere in the statement (even in a string
+    literal) is registered — a superset of the truly referenced tables.
+    Falls back to all tables when nothing matches, so a malformed statement
+    still fails with sqlite's own error message.
+    """
+    subset = {name: table for name, table in tables.items()
+              if re.search(rf"\b{re.escape(name)}\b", sql, re.IGNORECASE)}
+    return subset or dict(tables)
 
 
 class SQLOperator(PhysicalOperator):
@@ -31,7 +50,8 @@ class SQLOperator(PhysicalOperator):
         (sql,) = self.require_args(args, 1)
         try:
             with SQLExecutor() as executor:
-                for name, table in context.tables.items():
+                for name, table in referenced_tables(sql,
+                                                     context.tables).items():
                     executor.register(name, table)
                 result = executor.execute(sql)
         except ReproError as exc:

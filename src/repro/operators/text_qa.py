@@ -8,6 +8,7 @@ each row before the extractive QA model answers from the row's text.
 
 from __future__ import annotations
 
+from repro.core.answer_cache import MISS, text_fingerprint
 from repro.data.datatypes import DataType
 from repro.errors import OperatorError
 from repro.operators.base import (ExecutionContext, OperatorCard,
@@ -45,6 +46,8 @@ class TextQAOperator(PhysicalOperator):
                 f"column {text_column!r} has type "
                 f"{table.dtype(text_column).value}, but {self.name} needs a "
                 "TEXT column", operator=self.name)
+        cache = context.answer_cache
+        cache_type = answer_type.strip().lower()
         answers = []
         for row in table.rows():
             document = row[text_column]
@@ -52,8 +55,17 @@ class TextQAOperator(PhysicalOperator):
                 answers.append(None)
                 continue
             question = instantiate_template(template, row)
+            if cache is not None:
+                key = (text_fingerprint(str(document)), question, cache_type)
+                cached = cache.get(key)
+                if cached is not MISS:
+                    answers.append(cached)
+                    continue
             raw = context.text_model.answer(str(document), question)
-            answers.append(cast_answer(raw, answer_type, self.name))
+            answer = cast_answer(raw, answer_type, self.name)
+            if cache is not None:
+                cache.put(key, answer)
+            answers.append(answer)
         result = table.with_column(new_column, answer_dtype(answer_type),
                                    answers)
         samples = result.sample_values(new_column)

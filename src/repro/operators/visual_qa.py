@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.core.answer_cache import MISS
 from repro.data.datatypes import DataType
 from repro.errors import OperatorError
 from repro.operators.base import (ExecutionContext, OperatorCard,
@@ -71,6 +72,8 @@ class VisualQAOperator(PhysicalOperator):
                 f"column {image_column!r} has type "
                 f"{table.dtype(image_column).value}, but {self.name} needs "
                 "an IMAGE column", operator=self.name)
+        cache = context.answer_cache
+        cache_type = answer_type.strip().lower()
         answers = []
         for value in table.column(image_column):
             if value is None:
@@ -80,8 +83,17 @@ class VisualQAOperator(PhysicalOperator):
                 raise OperatorError(
                     f"column {image_column!r} holds {type(value).__name__}, "
                     "not images", operator=self.name)
+            if cache is not None:
+                key = (value.fingerprint(), question, cache_type)
+                cached = cache.get(key)
+                if cached is not MISS:
+                    answers.append(cached)
+                    continue
             raw = context.vision_model.answer(value, question)
-            answers.append(cast_answer(raw, answer_type, self.name))
+            answer = cast_answer(raw, answer_type, self.name)
+            if cache is not None:
+                cache.put(key, answer)
+            answers.append(answer)
         result = table.with_column(new_column, answer_dtype(answer_type),
                                    answers)
         samples = result.sample_values(new_column)
@@ -113,13 +125,22 @@ class ImageSelectOperator(PhysicalOperator):
                 f"column {image_column!r} has type "
                 f"{table.dtype(image_column).value}, but {self.name} needs "
                 "an IMAGE column", operator=self.name)
+        cache = context.answer_cache
         mask = []
         for value in table.column(image_column):
             if value is None:
                 mask.append(False)
                 continue
-            mask.append(context.vision_model.matches_description(
-                value, description))
+            if cache is not None:
+                key = (value.fingerprint(), description, "select")
+                cached = cache.get(key)
+                if cached is not MISS:
+                    mask.append(cached)
+                    continue
+            keep = context.vision_model.matches_description(value, description)
+            if cache is not None:
+                cache.put(key, keep)
+            mask.append(keep)
         result = table.filter(mask)
         observation = (
             f"Image Select kept {result.num_rows} of {table.num_rows} rows "

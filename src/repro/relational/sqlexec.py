@@ -15,6 +15,7 @@ import re
 import sqlite3
 from dataclasses import dataclass, field
 from datetime import date
+from typing import Sequence
 
 from repro.data.datatypes import DataType
 from repro.data.schema import ColumnSpec, Schema
@@ -47,6 +48,14 @@ class ObjectStore:
 
 def _quote_ident(name: str) -> str:
     return '"' + name.replace('"', '""') + '"'
+
+
+def _adapt_cell(value: object) -> object:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, date):
+        return value.isoformat()
+    return value
 
 
 class SQLExecutor:
@@ -86,21 +95,22 @@ class SQLExecutor:
         placeholders = ", ".join("?" for _ in table.column_names)
         insert_sql = (f"INSERT INTO {_quote_ident(name)} "
                       f"VALUES ({placeholders})")
-        rows = []
-        for row in table.rows():
-            cells = []
-            for column in table.column_names:
-                value = row[column]
-                if column in modality and value is not None:
-                    cells.append(self._store.put(value, modality[column]))
-                elif isinstance(value, date):
-                    cells.append(value.isoformat())
-                elif isinstance(value, bool):
-                    cells.append(int(value))
-                else:
-                    cells.append(value)
-            rows.append(tuple(cells))
-        cursor.executemany(insert_sql, rows)
+        # Column-wise cell preparation: the register hot path dominates batch
+        # execution on large lakes, so per-row dict building is avoided and
+        # columns that need no conversion are passed through untouched.
+        prepared: list[Sequence[object]] = []
+        for column in table.column_names:
+            values = table.column(column)
+            if column in modality:
+                store = self._store
+                dtype = modality[column]
+                prepared.append([None if v is None else store.put(v, dtype)
+                                 for v in values])
+            elif any(isinstance(v, (date, bool)) for v in values):
+                prepared.append([_adapt_cell(v) for v in values])
+            else:
+                prepared.append(values)
+        cursor.executemany(insert_sql, zip(*prepared) if prepared else [])
         self._connection.commit()
         self._registered[name] = table
 

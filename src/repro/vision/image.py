@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 
@@ -21,6 +23,7 @@ class Image:
                 f"expected (H, W, 3) RGB array, got shape {pixels.shape}")
         self.pixels = pixels.astype(np.uint8, copy=False)
         self.path = path
+        self._fingerprint: str | None = None
 
     @property
     def height(self) -> int:
@@ -32,6 +35,21 @@ class Image:
 
     def copy(self) -> "Image":
         return Image(self.pixels.copy(), path=self.path)
+
+    def fingerprint(self) -> str:
+        """Content digest of the raster (answer-cache key component).
+
+        Computed lazily from path, shape, and pixel bytes, then memoized —
+        images are immutable by convention, like :class:`~repro.data.table.
+        Table` columns.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(self.path.encode("utf-8"))
+            digest.update(repr(self.pixels.shape).encode("ascii"))
+            digest.update(self.pixels.tobytes())
+            self._fingerprint = digest.hexdigest()[:24]
+        return self._fingerprint
 
     def __repr__(self) -> str:
         label = self.path or "unnamed"

@@ -1,0 +1,141 @@
+"""Tests for the answer cache: unit behaviour, fingerprints, and the
+VQA / TextQA / Image Select integration through the engine."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.answer_cache import MISS, AnswerCache, text_fingerprint
+from repro.core.engine import QueryEngine
+from repro.vision.image import Image
+
+
+def test_get_returns_miss_sentinel_not_none():
+    cache = AnswerCache(capacity=4)
+    assert cache.get(("fp", "q", "int")) is MISS
+    cache.put(("fp", "q", "int"), None)  # None is a legitimate answer
+    assert cache.get(("fp", "q", "int")) is None
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_hit_miss_eviction_accounting():
+    cache = AnswerCache(capacity=2)
+    cache.put(("a", "q", "int"), 1)
+    cache.put(("b", "q", "int"), 2)
+    assert cache.get(("a", "q", "int")) == 1     # refresh "a"
+    cache.put(("c", "q", "int"), 3)              # evicts "b"
+    assert cache.evictions == 1
+    assert ("b", "q", "int") not in cache
+    assert cache.get(("b", "q", "int")) is MISS
+    assert cache.hit_rate == 0.5
+    assert len(cache) == 2
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.snapshot() == (1, 1, 1)
+
+
+def test_rejects_non_positive_capacity():
+    with pytest.raises(ValueError):
+        AnswerCache(capacity=0)
+
+
+def test_keys_distinguish_question_and_answer_type():
+    cache = AnswerCache()
+    cache.put(("fp", "how many dogs?", "int"), 2)
+    assert cache.get(("fp", "how many dogs?", "str")) is MISS
+    assert cache.get(("fp", "how many cats?", "int")) is MISS
+    assert cache.get(("fp", "how many dogs?", "int")) == 2
+
+
+def test_image_fingerprint_is_content_addressed():
+    pixels = np.zeros((4, 4, 3), dtype=np.uint8)
+    a = Image(pixels, path="img/1.png")
+    b = Image(pixels.copy(), path="img/1.png")
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() is a._fingerprint  # memoized
+    different_pixels = pixels.copy()
+    different_pixels[0, 0, 0] = 255
+    assert Image(different_pixels, "img/1.png").fingerprint() \
+        != a.fingerprint()
+    assert Image(pixels, "img/2.png").fingerprint() != a.fingerprint()
+
+
+def test_text_fingerprint_is_content_addressed():
+    assert text_fingerprint("abc") == text_fingerprint("abc")
+    assert text_fingerprint("abc") != text_fingerprint("abd")
+
+
+def test_concurrent_hammering_keeps_counters_consistent():
+    cache = AnswerCache(capacity=16)
+    rounds = 200
+
+    def hammer(worker: int) -> None:
+        for i in range(rounds):
+            key = (f"fp{i % 24}", "q", "int")
+            if cache.get(key) is MISS:
+                cache.put(key, i)
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert cache.hits + cache.misses == 8 * rounds
+    assert len(cache) <= 16
+
+
+def _run_twice(lake, query):
+    """Run *query* twice through one engine sharing one answer cache."""
+    cache = AnswerCache()
+    engine = QueryEngine(lake, answer_cache=cache)
+    first = engine.answer(query)
+    assert first.ok, first.error
+    hits_0, misses_0, _ = cache.snapshot()
+    second = engine.answer(query)
+    assert second.ok, second.error
+    hits_1, misses_1, _ = cache.snapshot()
+    return first, second, (hits_0, misses_0), (hits_1, misses_1)
+
+
+def test_visual_qa_answers_are_memoized(artwork_lake):
+    first, second, (hits_0, misses_0), (hits_1, misses_1) = _run_twice(
+        artwork_lake, "How many paintings are depicting a sword?")
+    assert hits_0 == 0 and misses_0 > 0   # cold: every image probed
+    assert misses_1 == misses_0           # warm: no new inference
+    assert hits_1 == misses_0             # ... every probe served cached
+    assert first.value == second.value
+
+
+def test_image_select_is_memoized(artwork_lake):
+    first, second, (hits_0, misses_0), (hits_1, misses_1) = _run_twice(
+        artwork_lake, "List the titles of paintings depicting a crown.")
+    assert hits_0 == 0 and misses_0 > 0
+    assert misses_1 == misses_0
+    assert hits_1 == misses_0
+    assert first.table.equals(second.table)
+
+
+def test_text_qa_answers_are_memoized(rotowire_lake):
+    first, second, (hits_0, misses_0), (hits_1, misses_1) = _run_twice(
+        rotowire_lake, "Plot the total number of points scored by each team.")
+    assert hits_0 == 0 and misses_0 > 0   # cold: every report probed
+    assert misses_1 == misses_0
+    assert hits_1 == misses_0
+    assert first.plot.y_values == second.plot.y_values
+
+
+def test_cached_answers_match_uncached_run(artwork_lake):
+    query = "How many paintings are depicting a sword?"
+    uncached = QueryEngine(artwork_lake).answer(query)
+    cached = QueryEngine(artwork_lake,
+                         answer_cache=AnswerCache()).answer(query)
+    assert uncached.ok and cached.ok
+    assert uncached.value == cached.value
+
+
+def test_engine_without_cache_has_no_cache_side_effects(rotowire_lake):
+    engine = QueryEngine(rotowire_lake)
+    assert engine.answer_cache is None
+    result = engine.answer("How many games did the Heat win?")
+    assert result.ok

@@ -1,0 +1,88 @@
+"""Smoke tests for the benchmark harness (kept tiny and latency-free)."""
+
+import json
+
+import pytest
+
+from repro.benchmarks import BenchConfig, run_benchmark, workload
+from repro.benchmarks.harness import _parse_workers
+from repro.benchmarks.workloads import WORKLOADS
+
+
+def test_workload_repeats_fixed_list():
+    unique = WORKLOADS["artwork"]
+    assert workload("artwork", repeats=2) == list(unique) * 2
+
+
+def test_workload_rejects_unknown_dataset_and_bad_repeats():
+    with pytest.raises(KeyError):
+        workload("nope")
+    with pytest.raises(ValueError):
+        workload("artwork", repeats=0)
+
+
+def test_parse_workers():
+    assert _parse_workers("1,2,4") == (1, 2, 4)
+    with pytest.raises(SystemExit):
+        _parse_workers("one")
+    with pytest.raises(SystemExit):
+        _parse_workers(",")
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BenchConfig(workers=())
+    with pytest.raises(ValueError):
+        BenchConfig(workers=(0,))
+    with pytest.raises(ValueError):
+        BenchConfig(llm_latency_ms=-1)
+    with pytest.raises(ValueError):
+        BenchConfig(repeats=0)
+    with pytest.raises(ValueError):
+        BenchConfig(scale=0)
+
+
+def test_bench_cli_rejects_bad_repeats(capsys):
+    from repro.cli import main
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "--repeats", "0"])
+    assert excinfo.value.code == 2
+    assert "positive" in capsys.readouterr().err
+
+
+def test_run_benchmark_emits_record_and_json(tmp_path):
+    output = tmp_path / "BENCH_parallel.json"
+    config = BenchConfig(dataset="artwork", scale=0.25, workers=(1, 2),
+                         repeats=1, llm_latency_ms=0.0,
+                         output=str(output), quiet=True)
+    record = run_benchmark(config)
+
+    assert output.exists()
+    assert json.loads(output.read_text(encoding="utf-8")) == record
+
+    assert record["benchmark"] == "parallel_batch"
+    assert record["dataset"] == "artwork"
+    assert record["lake_rows"]["paintings_metadata"] == 30
+    assert record["queries_per_run"] == len(WORKLOADS["artwork"])
+    assert [run["workers"] for run in record["runs"]] == [1, 2]
+    for run in record["runs"]:
+        for pass_name in ("cold", "warm"):
+            metrics = run[pass_name]
+            assert metrics["errors"] == 0, metrics
+            assert metrics["elapsed_seconds"] > 0.0
+            assert metrics["queries_per_second"] > 0.0
+        # The warm pass rides the caches populated by the cold pass.
+        assert run["warm"]["plan_cache"]["hit_rate"] == 1.0
+        assert run["warm"]["answer_cache"]["misses"] == 0
+    assert "2" in record["warm_speedup_vs_1_worker"]
+    assert record["warm_speedup_vs_1_worker"]["1"] == 1.0
+
+
+def test_run_benchmark_without_output_writes_nothing(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    config = BenchConfig(dataset="rotowire", scale=0.1, workers=(1,),
+                         repeats=1, llm_latency_ms=0.0, output=None,
+                         quiet=True)
+    record = run_benchmark(config)
+    assert record["runs"]
+    assert not list(tmp_path.iterdir())

@@ -41,6 +41,39 @@ def test_cli_batch_mode(tmp_path, capsys):
     assert "plan cache: 1 hits, 1 misses" in out
 
 
+def test_cli_batch_mode_parallel(tmp_path, capsys):
+    batch = tmp_path / "queries.txt"
+    batch.write_text("How many players are taller than 200?\n"
+                     "Who is the tallest player?\n"
+                     "How many players are taller than 200?\n",
+                     encoding="utf-8")
+    code = main(["--dataset", "rotowire", "--batch", str(batch),
+                 "--workers", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 worker(s)" in out
+    assert "serial-equivalent" in out
+
+
+def test_cli_scale_flag(capsys):
+    code = main(["--dataset", "rotowire", "--scale", "0.2",
+                 "--query", "How many players are taller than 200?"])
+    assert code == 0
+    assert "value:" in capsys.readouterr().out
+
+
+def test_cli_bench_subcommand(tmp_path, capsys):
+    output = tmp_path / "BENCH_parallel.json"
+    code = main(["bench", "--dataset", "artwork", "--scale", "0.25",
+                 "--workers", "1,2", "--repeats", "1",
+                 "--llm-latency-ms", "0", "--output", str(output)])
+    assert code == 0
+    assert output.exists()
+    out = capsys.readouterr().out
+    assert "warm speedup at 2 workers" in out
+    assert "workers=1" in out
+
+
 def test_cli_empty_batch_file(tmp_path, capsys):
     batch = tmp_path / "empty.txt"
     batch.write_text("# nothing here\n", encoding="utf-8")

@@ -1,0 +1,43 @@
+"""Tests for CSV import/export of relational tables."""
+
+from repro.data import DataType
+from repro.data.csvio import (read_csv, read_csv_text, write_csv,
+                              write_csv_text)
+
+CSV_TEXT = ("name,height,active\n"
+            "Ann,201,true\n"
+            "Bob,,false\n")
+
+
+def test_read_csv_text_infers_types():
+    table = read_csv_text(CSV_TEXT)
+    assert table.column_names == ["name", "height", "active"]
+    assert table.column("height") == [201, None]
+    assert table.column("active") == [True, False]
+    assert table.dtype("height") is DataType.INTEGER
+    assert table.dtype("active") is DataType.BOOLEAN
+
+
+def test_read_csv_text_with_explicit_dtypes():
+    table = read_csv_text(CSV_TEXT, dtypes={"height": DataType.FLOAT})
+    assert table.dtype("height") is DataType.FLOAT
+    assert table.column("height") == [201.0, None]
+
+
+def test_read_csv_text_empty_input():
+    table = read_csv_text("")
+    assert table.num_rows == 0 and table.num_columns == 0
+
+
+def test_round_trip_through_files(tmp_path):
+    original = read_csv_text(CSV_TEXT)
+    path = tmp_path / "players.csv"
+    write_csv(original, path)
+    again = read_csv(path)
+    assert again.equals(original)
+
+
+def test_write_csv_text_serializes_none_as_empty():
+    text = write_csv_text(read_csv_text(CSV_TEXT))
+    assert "Bob,,False" in text or "Bob,," in text
+    assert text.splitlines()[0] == "name,height,active"

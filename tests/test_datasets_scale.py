@@ -1,0 +1,64 @@
+"""Tests for scaled lake generation: cardinality and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (generate_artwork_dataset,
+                            generate_rotowire_dataset, load_lake)
+
+
+def test_artwork_scale_multiplies_paintings():
+    dataset = generate_artwork_dataset(scale=2)
+    assert dataset.metadata.num_rows == 240
+    assert dataset.images.num_rows == 240
+    assert len(dataset.scenes) == 240
+
+
+def test_rotowire_scale_multiplies_games():
+    dataset = generate_rotowire_dataset(scale=2)
+    assert dataset.game_reports.num_rows == 60
+    assert len(dataset.box_scores) == 60
+
+
+def test_fractional_scale_rounds_and_clamps():
+    assert generate_artwork_dataset(scale=0.5).metadata.num_rows == 60
+    assert generate_artwork_dataset(scale=0.001).metadata.num_rows == 1
+    assert generate_rotowire_dataset(scale=0.1).game_reports.num_rows == 3
+
+
+@pytest.mark.parametrize("generate",
+                         [generate_artwork_dataset,
+                          generate_rotowire_dataset])
+def test_scale_rejects_non_positive(generate):
+    with pytest.raises(ValueError):
+        generate(scale=0)
+
+
+def test_scaled_artwork_generation_is_deterministic():
+    first = generate_artwork_dataset(seed=3, scale=2)
+    second = generate_artwork_dataset(seed=3, scale=2)
+    assert first.metadata.equals(second.metadata)
+    assert first.as_lake().fingerprint() == second.as_lake().fingerprint()
+    for mine, theirs in zip(first.images.column("image")[:5],
+                            second.images.column("image")[:5]):
+        assert np.array_equal(mine.pixels, theirs.pixels)
+        assert mine.fingerprint() == theirs.fingerprint()
+
+
+def test_scaled_rotowire_generation_is_deterministic():
+    first = generate_rotowire_dataset(seed=5, scale=3)
+    second = generate_rotowire_dataset(seed=5, scale=3)
+    assert first.players.equals(second.players)
+    assert first.game_reports.equals(second.game_reports)
+    assert first.as_lake().fingerprint() == second.as_lake().fingerprint()
+
+
+def test_scale_changes_lake_fingerprint():
+    base = load_lake("artwork")
+    scaled = load_lake("artwork", scale=2)
+    assert base.fingerprint() != scaled.fingerprint()
+
+
+def test_load_lake_passes_scale_through():
+    lake = load_lake("rotowire", scale=2)
+    assert lake.table("game_reports").num_rows == 60

@@ -1,0 +1,179 @@
+"""Tests for the native relational engine (ops + expressions) and the
+dense-retrieval stack — previously only exercised indirectly."""
+
+import pytest
+
+from repro.data import ColumnSpec, DataType, Schema, Table
+from repro.errors import (ExpressionError, RetrievalError, SchemaError,
+                          UnknownColumnError)
+from repro.relational import (evaluate_predicate, group_aggregate, join,
+                              normalize_aggregate, parse_expression, select,
+                              sort)
+from repro.relational.ops import distinct, limit, project, rename, union_all
+from repro.retrieval import HashEmbedder, VectorIndex, tokenize
+
+
+def _players() -> Table:
+    schema = Schema([
+        ColumnSpec("name", DataType.STRING),
+        ColumnSpec("team", DataType.STRING),
+        ColumnSpec("height", DataType.INTEGER),
+    ])
+    return Table.from_rows(schema, [
+        ["Ann", "Heat", 201],
+        ["Bob", "Heat", 188],
+        ["Cyd", "Bulls", 210],
+        ["Dee", "Bulls", None],
+    ])
+
+
+def _teams() -> Table:
+    schema = Schema([
+        ColumnSpec("team", DataType.STRING),
+        ColumnSpec("city", DataType.STRING),
+    ])
+    return Table.from_rows(schema, [["Heat", "Miami"],
+                                    ["Bulls", "Chicago"]])
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+
+def test_comparisons_and_boolean_operators():
+    row = {"height": 201, "team": "Heat"}
+    assert evaluate_predicate("height > 200 AND team = 'Heat'", row)
+    assert not evaluate_predicate("height > 200 AND team = 'Bulls'", row)
+    assert evaluate_predicate("height < 100 OR NOT team = 'Bulls'", row)
+    assert evaluate_predicate("(height >= 201) AND (height <= 201)", row)
+    assert evaluate_predicate("height != 200", row)
+
+
+def test_null_like_in_between():
+    assert evaluate_predicate("x IS NULL", {"x": None})
+    assert evaluate_predicate("x IS NOT NULL", {"x": 1})
+    assert evaluate_predicate("name LIKE 'An%'", {"name": "Ann"})
+    assert not evaluate_predicate("name NOT LIKE 'An%'", {"name": "Ann"})
+    assert evaluate_predicate("team IN ('Heat', 'Bulls')", {"team": "Heat"})
+    assert evaluate_predicate("h BETWEEN 180 AND 210", {"h": 201})
+    assert not evaluate_predicate("h BETWEEN 180 AND 200", {"h": 201})
+
+
+def test_column_references_can_be_qualified():
+    expr = parse_expression("p.height > 200")
+    assert expr.evaluate({"height": 205})
+    assert expr.evaluate({"p.height": 205})
+    assert expr.referenced_columns() == {"height"}  # bare name
+
+
+def test_expression_errors():
+    with pytest.raises(ExpressionError):
+        parse_expression("height >")
+    with pytest.raises(ExpressionError):
+        parse_expression("height ~ 3")
+    with pytest.raises(ExpressionError):
+        evaluate_predicate("missing = 1", {"present": 1})
+
+
+# ----------------------------------------------------------------------
+# relational ops
+# ----------------------------------------------------------------------
+
+
+def test_select_and_project():
+    tall = select(_players(), "height > 200")
+    assert tall.column("name") == ["Ann", "Cyd"]
+    assert project(tall, ["name"]).column_names == ["name"]
+    with pytest.raises(UnknownColumnError):
+        select(_players(), "wingspan > 2")
+
+
+def test_join_inner_and_left():
+    inner = join(_players(), _teams(), "team", "team")
+    assert inner.num_rows == 4
+    assert inner.column("city") == ["Miami", "Miami", "Chicago", "Chicago"]
+
+    lonely = Table.from_rows(
+        Schema([ColumnSpec("team", DataType.STRING)]), [["Vapor"]])
+    left = join(lonely, _teams(), "team", "team", how="left")
+    assert left.num_rows == 1 and left.column("city") == [None]
+    with pytest.raises(SchemaError):
+        join(_players(), _teams(), "team", "team", how="cross")
+
+
+def test_group_aggregate_count_and_avg():
+    result = group_aggregate(
+        _players(), ["team"],
+        [("count", "*", "players"), ("avg", "height", "avg_height")])
+    assert result.column("team") == ["Heat", "Bulls"]
+    assert result.column("players") == [2, 2]
+    assert result.column("avg_height") == [194.5, 210.0]  # None skipped
+
+
+def test_group_aggregate_whole_table_and_min_max():
+    result = group_aggregate(
+        _players(), [],
+        [("min", "height", "shortest"), ("max", "height", "tallest"),
+         ("sum", "height", "total"), ("count_distinct", "team", "teams")])
+    assert result.num_rows == 1
+    assert result.row(0) == {"shortest": 188, "tallest": 210,
+                             "total": 599, "teams": 2}
+
+
+def test_normalize_aggregate_synonyms():
+    assert normalize_aggregate("Number") == "count"
+    assert normalize_aggregate("earliest") == "min"
+    assert normalize_aggregate("total") == "sum"
+    with pytest.raises(ExpressionError):
+        normalize_aggregate("median-ish")
+
+
+def test_sort_limit_distinct_rename_union():
+    by_height = sort(_players(), ["height"])
+    assert by_height.column("name") == ["Bob", "Ann", "Cyd", "Dee"]  # None last
+    tallest_first = sort(_players(), ["height"], descending=True)
+    assert tallest_first.column("name")[-3:] == ["Cyd", "Ann", "Bob"]
+    assert limit(by_height, 2).num_rows == 2
+    assert distinct(_players(), ["team"]).column("team") == ["Heat", "Bulls"]
+    renamed = rename(_players(), {"height": "height_cm"})
+    assert "height_cm" in renamed.column_names
+    doubled = union_all(_players(), _players())
+    assert doubled.num_rows == 8
+
+
+# ----------------------------------------------------------------------
+# retrieval
+# ----------------------------------------------------------------------
+
+
+def test_tokenize_drops_stopwords():
+    assert tokenize("How many paintings are in the museum?") == \
+        ["paintings", "museum"]
+
+
+def test_embedder_similarity_orders_related_texts():
+    embedder = HashEmbedder(dim=512)
+    related = embedder.similarity("paintings of the museum",
+                                  "museum paintings and artists")
+    unrelated = embedder.similarity("paintings of the museum",
+                                    "basketball game score report")
+    assert related > unrelated
+    with pytest.raises(ValueError):
+        HashEmbedder(dim=0)
+
+
+def test_vector_index_top_k():
+    index = VectorIndex()
+    index.add("paintings", "metadata about paintings and artists")
+    index.add("reports", "textual reports of basketball games")
+    index.add("teams", "basketball teams and their cities")
+    assert len(index) == 3
+    hits = index.search("which artist painted the most paintings", k=2)
+    assert hits[0].key == "paintings"
+    assert len(hits) <= 2
+
+
+def test_vector_index_empty_search_raises():
+    with pytest.raises(RetrievalError):
+        VectorIndex().search("anything")
