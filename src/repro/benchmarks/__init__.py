@@ -1,10 +1,9 @@
 """Benchmark harness: fixed workloads, several worker counts, JSON trail.
 
 ``repro bench`` (see :mod:`repro.benchmarks.harness`) runs the workloads in
-:mod:`repro.benchmarks.workloads` through :class:`~repro.core.batch.
-ParallelBatchRunner` at each requested worker count and emits
-``BENCH_parallel.json`` — the machine-readable throughput record CI uploads
-on every run.
+:mod:`repro.benchmarks.workloads` through a :class:`~repro.session.Session`
+at each requested worker count and emits ``BENCH_parallel.json`` — the
+machine-readable throughput record CI uploads on every run.
 """
 
 from repro.benchmarks.harness import BenchConfig, main, run_benchmark

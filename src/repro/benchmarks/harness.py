@@ -1,9 +1,9 @@
 """The ``repro bench`` harness.
 
 Runs a dataset's fixed workload (:mod:`repro.benchmarks.workloads`) through
-:class:`~repro.core.batch.ParallelBatchRunner` at several worker counts.
-Every worker count gets a fresh runner (fresh caches) and two passes over
-the workload:
+a :class:`~repro.session.Session` at several worker counts.  Every worker
+count gets a fresh session (fresh caches) and two passes over the
+workload:
 
 - a **cold** pass that populates the plan cache and the answer cache, and
 - a **warm** pass on the now-hot caches — the steady-state a long-running
@@ -29,12 +29,15 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from repro.benchmarks.workloads import workload
-from repro.cli import _positive_float, _positive_int
-from repro.core.batch import BatchReport, ParallelBatchRunner
+from repro.cliargs import positive_float, positive_int
+from repro.core.batch import BatchReport
+from repro.data.catalog import DataLake
 from repro.datasets import DATASET_NAMES, load_lake
 from repro.llm.brain import SimulatedBrain
+from repro.session import Session
 
 DEFAULT_WORKERS = (1, 2, 4)
 DEFAULT_SCALE = 10.0
@@ -51,7 +54,10 @@ class BenchConfig:
     seed: int | None = None
     workers: tuple[int, ...] = DEFAULT_WORKERS
     repeats: int = 3
-    llm_latency_ms: float = DEFAULT_LLM_LATENCY_MS
+    #: ``None`` means "no latency override" — only meaningful together
+    #: with a *session_factory* whose brain sets its own pace (see
+    #: :meth:`repro.session.Session.bench`).
+    llm_latency_ms: float | None = DEFAULT_LLM_LATENCY_MS
     plan_cache_size: int = 128
     output: str | None = DEFAULT_OUTPUT
     quiet: bool = field(default=False, repr=False)
@@ -66,7 +72,7 @@ class BenchConfig:
             raise ValueError(f"repeats must be positive, got {self.repeats}")
         if self.scale <= 0:
             raise ValueError(f"scale must be positive, got {self.scale}")
-        if self.llm_latency_ms < 0:
+        if self.llm_latency_ms is not None and self.llm_latency_ms < 0:
             raise ValueError("llm latency must be non-negative")
 
 
@@ -75,36 +81,57 @@ def _say(config: BenchConfig, message: str) -> None:
         print(f"[bench] {message}", flush=True)
 
 
-def run_benchmark(config: BenchConfig) -> dict:
+def run_benchmark(config: BenchConfig, lake: DataLake | None = None,
+                  session_factory: Callable[[], Session] | None = None,
+                  ) -> dict:
     """Run the benchmark described by *config* and return the JSON record.
 
-    When ``config.output`` is set, the record is also written there.
+    When ``config.output`` is set, the record is also written there.  When
+    *lake* is given (:meth:`repro.session.Session.bench` does this), it is
+    benchmarked as-is and ``config.scale``/``config.seed`` are recorded as
+    ``None`` — they describe lake generation, which did not happen here.
+    *session_factory* supplies the fresh session for each worker count
+    (``Session.bench`` uses it to carry its brain, config, and role
+    overrides into the benchmark); the default builds one over *lake*
+    with a :class:`~repro.llm.brain.SimulatedBrain` at
+    ``config.llm_latency_ms``.
     """
     queries = workload(config.dataset, repeats=config.repeats)
-    _say(config, f"generating {config.dataset} lake at scale "
-                 f"{config.scale:g} ...")
-    generated = time.perf_counter()
-    lake = load_lake(config.dataset, seed=config.seed, scale=config.scale)
-    generation_seconds = time.perf_counter() - generated
+    provided_lake = lake is not None
+    if provided_lake:
+        generation_seconds = 0.0
+    else:
+        _say(config, f"generating {config.dataset} lake at scale "
+                     f"{config.scale:g} ...")
+        generated = time.perf_counter()
+        lake = load_lake(config.dataset, seed=config.seed,
+                         scale=config.scale)
+        generation_seconds = time.perf_counter() - generated
     lake_rows = {name: lake.table(name).num_rows
                  for name in lake.source_names}
     _say(config, f"lake ready in {generation_seconds:.1f}s "
                  f"({', '.join(f'{n}={r}' for n, r in lake_rows.items())})")
+    latency_text = ("session brain" if config.llm_latency_ms is None
+                    else f"{config.llm_latency_ms:g}ms")
     _say(config, f"workload: {len(queries)} queries "
                  f"({len(set(queries))} unique), llm latency "
-                 f"{config.llm_latency_ms:g}ms")
+                 f"{latency_text}")
+
+    if session_factory is None:
+        latency_ms = config.llm_latency_ms or 0.0
+
+        def session_factory() -> Session:
+            return Session(
+                lake,
+                brain=SimulatedBrain(latency_seconds=latency_ms / 1000.0),
+                plan_cache_size=config.plan_cache_size)
 
     runs = []
     warm_reports: dict[int, BatchReport] = {}
     for workers in config.workers:
-        runner = ParallelBatchRunner(
-            lake,
-            model=SimulatedBrain(
-                latency_seconds=config.llm_latency_ms / 1000.0),
-            cache_size=config.plan_cache_size,
-            workers=workers)
-        cold = runner.run(queries)
-        warm = runner.run(queries)
+        session = session_factory()
+        cold = session.batch(queries, workers=workers)
+        warm = session.batch(queries, workers=workers)
         warm_reports[workers] = warm
         runs.append({"workers": workers,
                      "cold": cold.to_dict(),
@@ -134,8 +161,8 @@ def run_benchmark(config: BenchConfig) -> dict:
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
         "dataset": config.dataset,
-        "scale": config.scale,
-        "seed": config.seed,
+        "scale": None if provided_lake else config.scale,
+        "seed": None if provided_lake else config.seed,
         "lake_fingerprint": lake.fingerprint(),
         "lake_rows": lake_rows,
         "lake_generation_seconds": round(generation_seconds, 3),
@@ -162,7 +189,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dataset", choices=DATASET_NAMES,
                         default="artwork",
                         help="dataset to benchmark (default: artwork)")
-    parser.add_argument("--scale", type=_positive_float,
+    parser.add_argument("--scale", type=positive_float,
                         default=DEFAULT_SCALE,
                         help=f"lake scale factor (default: "
                              f"{DEFAULT_SCALE:g})")
@@ -172,7 +199,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                             str(w) for w in DEFAULT_WORKERS),
                         help="comma-separated worker counts "
                              "(default: 1,2,4)")
-    parser.add_argument("--repeats", type=_positive_int, default=3,
+    parser.add_argument("--repeats", type=positive_int, default=3,
                         help="workload repetitions per run (default: 3)")
     parser.add_argument("--llm-latency-ms", type=float,
                         default=DEFAULT_LLM_LATENCY_MS,

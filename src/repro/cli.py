@@ -2,77 +2,116 @@
 
 Examples::
 
-    python -m repro.cli --dataset rotowire \\
-        --query "How many players are taller than 200?"
-    python -m repro.cli --dataset artwork --batch queries.txt --cache-size 64
-    python -m repro.cli --dataset artwork --batch queries.txt --workers 4
-    python -m repro.cli bench --dataset artwork --scale 10 --workers 1,2,4
+    repro query --dataset rotowire "How many players are taller than 200?"
+    repro batch --dataset artwork queries.txt --workers 4 \\
+        --plan-cache-file plans.json
+    repro bench --dataset artwork --scale 10 --workers 1,2,4
+    repro --version
 
-Installed as the ``repro`` console script by ``setup.py``.  The ``bench``
-subcommand forwards to :mod:`repro.benchmarks.harness`.
+Installed as the ``repro`` console script.  Every path drives the system
+through :class:`repro.session.Session`; ``--plan-cache-file`` rehydrates
+the plan cache before the run and persists it afterwards, so a repeated
+batch plans nothing.  The ``bench`` subcommand forwards to
+:mod:`repro.benchmarks.harness`.
+
+The pre-subcommand spelling (``repro --dataset ... --query/--batch ...``)
+keeps working but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from pathlib import Path
 
-from repro.core.batch import BatchRunner, ParallelBatchRunner
-from repro.core.engine import EngineConfig, QueryEngine
+from repro.cliargs import positive_float, positive_int
+from repro.core.engine import EngineConfig
 from repro.core.plan import QueryResult
 from repro.datasets import DATASET_NAMES, load_lake
 from repro.plotting.ascii import render_plot
+from repro.session import Session
 
-
-def _positive_int(text: str) -> int:
-    value = int(text)
-    if value <= 0:
-        raise argparse.ArgumentTypeError(
-            f"must be a positive integer, got {text!r}")
-    return value
-
-
-def _positive_float(text: str) -> float:
-    value = float(text)
-    if value <= 0:
-        raise argparse.ArgumentTypeError(
-            f"must be a positive number, got {text!r}")
-    return value
-
-
-def build_arg_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Answer natural-language queries over a multi-modal "
-                    "data lake (CAESURA reproduction).",
-        epilog="Benchmarking: 'repro bench --help' describes the benchmark "
-               "harness.")
+def _add_lake_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", required=True, choices=DATASET_NAMES,
                         help="which synthetic dataset to load")
     parser.add_argument("--seed", type=int, default=None,
                         help="dataset generation seed (default: the "
                              "dataset's own default)")
-    parser.add_argument("--scale", type=_positive_float, default=1.0,
+    parser.add_argument("--scale", type=positive_float, default=1.0,
                         help="lake scale factor, multiplies the dataset's "
                              "base cardinality (default: 1.0)")
+    parser.add_argument("--no-discovery", action="store_true",
+                        help="skip the discovery phase (no column hints)")
+    parser.add_argument("--plan-cache-file", metavar="PATH", default=None,
+                        help="JSON file the plan cache is loaded from (if "
+                             "present) before the run and saved to after "
+                             "it, so plans survive across runs")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The subcommand-style parser (``repro query|batch|bench``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Answer natural-language queries over a multi-modal "
+                    "data lake (CAESURA reproduction).")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {_version()}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    query = subparsers.add_parser(
+        "query", help="answer one natural-language query")
+    _add_lake_arguments(query)
+    query.add_argument("query", help="the natural-language query")
+    query.add_argument("--trace", action="store_true",
+                       help="print the physical plan and per-phase timings")
+
+    batch = subparsers.add_parser(
+        "batch", help="run a file of queries (one per line)")
+    _add_lake_arguments(batch)
+    batch.add_argument("file", help="file with one query per line ('#' "
+                                    "comments and blank lines are skipped)")
+    batch.add_argument("--cache-size", type=positive_int, default=None,
+                       help="LRU plan-cache capacity (default: 128, or "
+                            "the capacity persisted in --plan-cache-file)")
+    batch.add_argument("--workers", type=positive_int, default=1,
+                       help="worker threads; >1 drains the batch through "
+                            "a thread pool (default: 1)")
+
+    subparsers.add_parser(
+        "bench", add_help=False,
+        help="benchmark parallel batch execution ('repro bench --help')")
+    return parser
+
+
+def build_legacy_parser() -> argparse.ArgumentParser:
+    """The deprecated flag-style parser (``repro --dataset ... --query``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Answer natural-language queries over a multi-modal "
+                    "data lake (CAESURA reproduction).",
+        epilog="This flag-style invocation is deprecated; use the 'repro "
+               "query' / 'repro batch' subcommands.")
+    _add_lake_arguments(parser)
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--query", help="one natural-language query")
     source.add_argument("--batch", metavar="FILE",
                         help="file with one query per line ('#' comments "
                              "and blank lines are skipped)")
-    parser.add_argument("--cache-size", type=_positive_int, default=128,
+    parser.add_argument("--cache-size", type=positive_int, default=None,
                         help="LRU plan-cache capacity for batch mode "
-                             "(default: 128)")
-    parser.add_argument("--workers", type=_positive_int, default=1,
-                        help="worker threads for batch mode; >1 runs the "
-                             "batch through the parallel runner "
-                             "(default: 1)")
-    parser.add_argument("--no-discovery", action="store_true",
-                        help="skip the discovery phase (no column hints)")
+                             "(default: 128, or the capacity persisted "
+                             "in --plan-cache-file)")
+    parser.add_argument("--workers", type=positive_int, default=1,
+                        help="worker threads for batch mode (default: 1)")
     parser.add_argument("--trace", action="store_true",
                         help="print the physical plan and per-phase timings")
     return parser
+
+
+def _version() -> str:
+    from repro import __version__
+    return __version__
 
 
 def read_batch_file(path: str) -> list[str]:
@@ -101,41 +140,81 @@ def _print_result(result: QueryResult, trace: bool) -> None:
             print(f"  {phase:<10s} {seconds:.3f}s")
 
 
+def _build_session(args: argparse.Namespace,
+                   cache_size: int | None = None) -> Session:
+    lake = load_lake(args.dataset, seed=args.seed, scale=args.scale)
+    config = EngineConfig(use_discovery=not args.no_discovery)
+    session = Session(lake, config=config,
+                      plan_cache_size=cache_size or 128)
+    if args.plan_cache_file and Path(args.plan_cache_file).exists():
+        # An explicit --cache-size wins over the capacity persisted in
+        # the file; otherwise the file's own capacity is kept, so a
+        # flag-less run never truncates a larger persisted cache.
+        session.load_plan_cache(args.plan_cache_file, capacity=cache_size)
+    return session
+
+
+def _finish(session: Session, args: argparse.Namespace) -> None:
+    if args.plan_cache_file:
+        session.save_plan_cache(args.plan_cache_file)
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    session = _build_session(args)
+    result = session.query(args.query)
+    _print_result(result, trace=args.trace)
+    _finish(session, args)
+    return 0 if result.ok else 1
+
+
+def _run_batch(args: argparse.Namespace, path: str) -> int:
+    try:
+        queries = read_batch_file(path)
+    except OSError as exc:
+        print(f"cannot read batch file: {exc}", file=sys.stderr)
+        return 2
+    if not queries:
+        print(f"no queries found in {path}", file=sys.stderr)
+        return 2
+    session = _build_session(args, cache_size=args.cache_size)
+    report = session.batch(queries, workers=args.workers)
+    print(report.render())
+    _finish(session, args)
+    return 0 if report.num_errors == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "bench":
+    if not argv:
+        build_parser().print_help()
+        return 0
+    if argv[0] == "bench":
         from repro.benchmarks.harness import main as bench_main
         return bench_main(argv[1:])
+    if argv[0].startswith("-") and argv[0] not in ("--version", "-h",
+                                                   "--help"):
+        # Flag-style invocation (repro --dataset ... --query/--batch ...)
+        # is the deprecated pre-subcommand surface.
+        warnings.warn(
+            "flag-style invocation (repro --dataset ... --query/--batch) "
+            "is deprecated; use the 'repro query' / 'repro batch' "
+            "subcommands",
+            DeprecationWarning, stacklevel=2)
+        args = build_legacy_parser().parse_args(argv)
+        if args.batch:
+            return _run_batch(args, args.batch)
+        return _run_query(args)
 
-    args = build_arg_parser().parse_args(argv)
-    lake = load_lake(args.dataset, seed=args.seed, scale=args.scale)
-    config = EngineConfig(use_discovery=not args.no_discovery)
-
-    if args.batch:
-        try:
-            queries = read_batch_file(args.batch)
-        except OSError as exc:
-            print(f"cannot read batch file: {exc}", file=sys.stderr)
-            return 2
-        if not queries:
-            print(f"no queries found in {args.batch}", file=sys.stderr)
-            return 2
-        if args.workers > 1:
-            runner: BatchRunner | ParallelBatchRunner = ParallelBatchRunner(
-                lake, config=config, cache_size=args.cache_size,
-                workers=args.workers)
-        else:
-            runner = BatchRunner(lake, config=config,
-                                 cache_size=args.cache_size)
-        report = runner.run(queries)
-        print(report.render())
-        return 0 if report.num_errors == 0 else 1
-
-    engine = QueryEngine(lake, config=config)
-    result = engine.answer(args.query)
-    _print_result(result, trace=args.trace)
-    return 0 if result.ok else 1
+    # Subcommand style.  An unknown first word lands here too and gets
+    # argparse's "invalid choice" error listing the real subcommands.
+    args = build_parser().parse_args(argv)
+    if args.command == "query":
+        return _run_query(args)
+    if args.command == "batch":
+        return _run_batch(args, args.file)
+    build_parser().print_help()
+    return 0
 
 
 if __name__ == "__main__":

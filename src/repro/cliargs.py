@@ -1,0 +1,21 @@
+"""Shared argparse value validators for the ``repro`` CLI and subcommands."""
+
+from __future__ import annotations
+
+import argparse
+
+
+def positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}")
+    return value
+
+
+def positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {text!r}")
+    return value

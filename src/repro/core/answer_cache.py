@@ -25,8 +25,8 @@ sentinel instead.
 Thread safety: every operation (lookups, insertions, and the hit/miss/eviction
 counters) is performed under one internal lock, so a single ``AnswerCache``
 may be shared by any number of concurrently executing operators — this is how
-:class:`repro.core.batch.ParallelBatchRunner` shares one cache across its
-worker engines.
+:meth:`repro.session.Session.batch` shares one cache across its worker
+engines.
 """
 
 from __future__ import annotations

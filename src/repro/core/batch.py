@@ -8,35 +8,43 @@ aggregate statistics.  This module provides all three:
 - :class:`PlanCache` — a thread-safe LRU cache of logical plans keyed on
   ``(query, lake fingerprint)``.  The fingerprint
   (:meth:`~repro.data.catalog.DataLake.fingerprint`) guarantees a cached
-  plan is only reused against a structurally identical lake.
-- :class:`BatchRunner` — runs a sequence of queries serially through one
-  :class:`~repro.core.engine.QueryEngine`, sharing one plan cache and one
-  :class:`~repro.core.answer_cache.AnswerCache`.
-- :class:`ParallelBatchRunner` — fans the same workload out over a pool of
-  worker threads, one engine per worker, all sharing the same two caches.
+  plan is only reused against a structurally identical lake.  Because the
+  plan IR is serializable, a cache can be persisted with :meth:`PlanCache.
+  save` and rehydrated with :meth:`PlanCache.load`, so warm plans survive
+  across runs (``--plan-cache-file`` in the CLI).
+- :func:`execute_batch` — drains a workload through one or more
+  :class:`~repro.core.engine.Engine` instances (serial loop for one engine,
+  a worker-thread pool for several), all sharing the same two caches.
   Queries are independent (the sqlite bridge is per-call and lake tables
   are immutable by convention), so no cross-query coordination is needed.
+  :meth:`repro.session.Session.batch` is the public entry point.
 
-Both runners produce a :class:`BatchReport` with per-stage wall-clock
-totals, step counts, and cache hit-rates.  Two different clocks are
-reported: ``wall_seconds`` sums per-query totals (*serial-equivalent*
-seconds — what one worker would have spent), while ``elapsed_seconds`` is
-the real wall-clock of the whole batch; throughput is computed from the
-latter, so it stays honest once queries run concurrently.
+Batches produce a :class:`BatchReport` with per-stage wall-clock totals,
+step counts, and cache hit-rates.  Two different clocks are reported:
+``wall_seconds`` sums per-query totals (*serial-equivalent* seconds — what
+one worker would have spent), while ``elapsed_seconds`` is the real
+wall-clock of the whole batch; throughput is computed from the latter, so
+it stays honest once queries run concurrently.
+
+:class:`BatchRunner` and :class:`ParallelBatchRunner` are the pre-Session
+entry points, kept as deprecated shims over the same internals.
 """
 
 from __future__ import annotations
 
+import json
 import queue
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.core.answer_cache import AnswerCache
-from repro.core.engine import EngineConfig, QueryEngine
+from repro.core.engine import Engine, EngineConfig
 from repro.core.plan import LogicalPlan, QueryResult
 from repro.data.catalog import DataLake
 from repro.llm.interface import LanguageModel
@@ -45,6 +53,9 @@ _STAGES = ("discovery", "planning", "mapping", "execution")
 
 DEFAULT_ANSWER_CACHE_SIZE = 65536
 
+#: Format marker written into persisted plan-cache files.
+PLAN_CACHE_FORMAT = "repro-plan-cache/v1"
+
 
 class PlanCache:
     """A bounded LRU cache of logical plans.
@@ -52,10 +63,10 @@ class PlanCache:
     Thread safety: every operation — lookups, insertions, LRU bookkeeping,
     and the hit/miss/eviction counters — happens under one internal lock,
     so a single ``PlanCache`` may be shared by any number of concurrently
-    running :class:`~repro.core.engine.QueryEngine` instances (this is what
-    :class:`ParallelBatchRunner` does).  Cached plans themselves are never
-    mutated by the engine, so handing the same ``LogicalPlan`` object to
-    several threads is safe.
+    running :class:`~repro.core.engine.Engine` instances (this is how
+    :meth:`repro.session.Session.batch` shares one cache across its worker
+    engines).  Cached plans themselves are never mutated by the engine, so
+    handing the same ``LogicalPlan`` object to several threads is safe.
     """
 
     def __init__(self, capacity: int = 128):
@@ -118,6 +129,50 @@ class PlanCache:
         with self._lock:
             return self._hits, self._misses, self._evictions
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Persist every cached plan to *path* as JSON.
+
+        Entries are written in LRU order (least-recent first), so a
+        :meth:`load` restores both the plans and the eviction order.
+        Returns the number of entries written.
+        """
+        with self._lock:
+            entries = [
+                {"query": query, "lake_fingerprint": fingerprint,
+                 "plan": plan.to_dict()}
+                for (query, fingerprint), plan in self._entries.items()
+            ]
+        payload = {"format": PLAN_CACHE_FORMAT, "capacity": self.capacity,
+                   "entries": entries}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+        return len(entries)
+
+    @classmethod
+    def load(cls, path: str | Path, capacity: int | None = None) -> "PlanCache":
+        """Rehydrate a cache persisted with :meth:`save`.
+
+        *capacity* overrides the persisted capacity; counters start at
+        zero (a loaded cache has served nothing yet).  Excess entries (a
+        file saved from a larger cache) are dropped oldest-first.
+        """
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("format") != PLAN_CACHE_FORMAT:
+            raise ValueError(
+                f"{path} is not a plan-cache file "
+                f"(format={payload.get('format')!r})")
+        cache = cls(capacity if capacity is not None
+                    else payload.get("capacity", 128))
+        entries = payload.get("entries", [])[-cache.capacity:]
+        for entry in entries:
+            key = (entry["query"], entry["lake_fingerprint"])
+            cache._entries[key] = LogicalPlan.from_dict(entry["plan"])
+        return cache
+
 
 @dataclass
 class QueryStats:
@@ -129,6 +184,17 @@ class QueryStats:
     cache_hit: bool
     steps: int
     seconds: float
+
+    def to_dict(self) -> dict:
+        return {"query": self.query, "kind": self.kind, "ok": self.ok,
+                "cache_hit": self.cache_hit, "steps": self.steps,
+                "seconds": self.seconds}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryStats":
+        return cls(query=data["query"], kind=data["kind"], ok=data["ok"],
+                   cache_hit=data["cache_hit"], steps=data["steps"],
+                   seconds=data["seconds"])
 
 
 @dataclass
@@ -191,9 +257,17 @@ class BatchReport:
         return (self.wall_seconds / self.elapsed_seconds
                 if self.elapsed_seconds > 0 else 0.0)
 
-    def to_dict(self) -> dict:
-        """JSON-ready metrics (consumed by the benchmark harness)."""
-        return {
+    def to_dict(self, include_results: bool = False) -> dict:
+        """JSON-ready encoding.
+
+        The default is the compact metrics record consumed by the
+        benchmark harness (rounded floats, no per-query payloads).  With
+        ``include_results=True`` the record additionally carries exact
+        clocks, per-query stats, and full :class:`~repro.core.plan.
+        QueryResult` payloads, making :meth:`from_dict` a lossless
+        inverse.
+        """
+        record = {
             "queries": self.num_queries,
             "ok": self.num_ok,
             "errors": self.num_errors,
@@ -218,6 +292,39 @@ class BatchReport:
                 "hit_rate": round(self.answer_hit_rate, 4),
             },
         }
+        if include_results:
+            record["exact"] = {
+                "wall_seconds": self.wall_seconds,
+                "elapsed_seconds": self.elapsed_seconds,
+                "timings": dict(self.timings),
+            }
+            record["stats"] = [stat.to_dict() for stat in self.stats]
+            record["results"] = [result.to_dict() for result in self.results]
+        return record
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchReport":
+        """Inverse of ``to_dict(include_results=True)``."""
+        if "exact" not in data:
+            raise ValueError(
+                "BatchReport.from_dict needs a record produced by "
+                "to_dict(include_results=True); the compact metrics "
+                "record is not lossless")
+        exact = data["exact"]
+        return cls(
+            stats=[QueryStats.from_dict(s) for s in data.get("stats", [])],
+            results=[QueryResult.from_dict(r)
+                     for r in data.get("results", [])],
+            timings=dict(exact.get("timings", {})),
+            cache_hits=data["plan_cache"]["hits"],
+            cache_misses=data["plan_cache"]["misses"],
+            cache_evictions=data["plan_cache"]["evictions"],
+            answer_hits=data["answer_cache"]["hits"],
+            answer_misses=data["answer_cache"]["misses"],
+            answer_evictions=data["answer_cache"]["evictions"],
+            wall_seconds=exact["wall_seconds"],
+            elapsed_seconds=exact["elapsed_seconds"],
+            workers=data["workers"])
 
     def render(self) -> str:
         """Plain-text report for the CLI."""
@@ -284,48 +391,89 @@ def _fold_cache_deltas(report: BatchReport, plan_cache: PlanCache,
     report.answer_evictions = evictions - answer_before[2]
 
 
-class BatchRunner:
-    """Executes query batches serially over one warmed lake.
+def execute_batch(engines: Sequence[Engine],
+                  queries: Sequence[str] | Iterable[str],
+                  plan_cache: PlanCache,
+                  answer_cache: AnswerCache) -> BatchReport:
+    """Drain *queries* through *engines*, producing a :class:`BatchReport`.
 
-    The plan cache and answer cache live on the runner, so consecutive
-    :meth:`run` calls share warmth (the second run of the same workload is
-    the "warm" measurement of the benchmark harness); each
-    :class:`BatchReport` still only accounts the cache activity of its own
-    run.
+    One engine runs the workload serially; several engines drain it through
+    a worker-thread pool (one thread per engine — engines carry per-query
+    mutable state such as the transcript, so an engine is never shared by
+    two in-flight queries, while all engines share the two thread-safe
+    caches).  Results and per-query stats are reported in submission order,
+    so a parallel report is line-for-line comparable with a serial one.
+
+    Cache accounting is the *delta* over this call, so warmth carried in
+    by the caller (a previous batch over the same caches, or a cache
+    rehydrated from disk) never inflates this run's numbers.
+    """
+    if not engines:
+        raise ValueError("execute_batch needs at least one engine")
+    workload = list(queries)
+    report = BatchReport(workers=len(engines))
+    plan_before = plan_cache.snapshot()
+    answer_before = answer_cache.snapshot()
+
+    started = time.perf_counter()
+    if len(engines) == 1:
+        results = [engines[0].query(query) for query in workload]
+    else:
+        idle: queue.SimpleQueue[Engine] = queue.SimpleQueue()
+        for engine in engines:
+            idle.put(engine)
+
+        def answer(query: str) -> QueryResult:
+            engine = idle.get()
+            try:
+                return engine.query(query)
+            finally:
+                idle.put(engine)
+
+        with ThreadPoolExecutor(max_workers=len(engines)) as pool:
+            results = list(pool.map(answer, workload))
+    report.elapsed_seconds = time.perf_counter() - started
+
+    for query, result in zip(workload, results):
+        _fold_result(report, query, result)
+    _fold_cache_deltas(report, plan_cache, answer_cache,
+                       plan_before, answer_before)
+    return report
+
+
+class BatchRunner:
+    """Deprecated pre-Session serial batch entry point.
+
+    Construction emits one :class:`DeprecationWarning`; use
+    :meth:`repro.session.Session.batch` instead.  The plan cache and
+    answer cache live on the runner, so consecutive :meth:`run` calls
+    share warmth; each :class:`BatchReport` still only accounts the cache
+    activity of its own run.
     """
 
     def __init__(self, lake: DataLake, model: LanguageModel | None = None,
                  config: EngineConfig | None = None, cache_size: int = 128,
                  answer_cache_size: int = DEFAULT_ANSWER_CACHE_SIZE):
+        warnings.warn(
+            "BatchRunner is deprecated; use repro.session.Session "
+            "(e.g. Session(lake).batch(queries))",
+            DeprecationWarning, stacklevel=2)
         self.cache = PlanCache(cache_size)
         self.answer_cache = AnswerCache(answer_cache_size)
-        self.engine = QueryEngine(lake, model=model, config=config,
-                                  plan_cache=self.cache,
-                                  answer_cache=self.answer_cache)
+        self.engine = Engine(lake, model=model, config=config,
+                             plan_cache=self.cache,
+                             answer_cache=self.answer_cache)
 
     def run(self, queries: Sequence[str] | Iterable[str]) -> BatchReport:
-        report = BatchReport(workers=1)
-        plan_before = self.cache.snapshot()
-        answer_before = self.answer_cache.snapshot()
-        started = time.perf_counter()
-        for query in queries:
-            _fold_result(report, query, self.engine.answer(query))
-        report.elapsed_seconds = time.perf_counter() - started
-        _fold_cache_deltas(report, self.cache, self.answer_cache,
-                           plan_before, answer_before)
-        return report
+        return execute_batch([self.engine], queries, self.cache,
+                             self.answer_cache)
 
 
 class ParallelBatchRunner:
-    """Executes query batches concurrently over one warmed lake.
+    """Deprecated pre-Session parallel batch entry point.
 
-    A pool of *workers* threads drains the workload; each worker owns a
-    private :class:`~repro.core.engine.QueryEngine` (engines carry per-query
-    mutable state such as the transcript), while all engines share one
-    thread-safe :class:`PlanCache` and one
-    :class:`~repro.core.answer_cache.AnswerCache`.  Results and per-query
-    stats are reported in submission order, so a parallel report is
-    line-for-line comparable with a serial one.
+    Construction emits one :class:`DeprecationWarning`; use
+    :meth:`repro.session.Session.batch` with ``workers=N`` instead.
 
     When *model* is given, the single instance is shared by all workers and
     must be thread-safe (:class:`~repro.llm.brain.SimulatedBrain` is — it
@@ -337,42 +485,21 @@ class ParallelBatchRunner:
                  config: EngineConfig | None = None, cache_size: int = 128,
                  workers: int = 4,
                  answer_cache_size: int = DEFAULT_ANSWER_CACHE_SIZE):
+        warnings.warn(
+            "ParallelBatchRunner is deprecated; use repro.session.Session "
+            "(e.g. Session(lake).batch(queries, workers=N))",
+            DeprecationWarning, stacklevel=2)
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = workers
         self.cache = PlanCache(cache_size)
         self.answer_cache = AnswerCache(answer_cache_size)
         self._engines = [
-            QueryEngine(lake, model=model, config=config,
-                        plan_cache=self.cache,
-                        answer_cache=self.answer_cache)
+            Engine(lake, model=model, config=config,
+                   plan_cache=self.cache, answer_cache=self.answer_cache)
             for _ in range(workers)
         ]
 
     def run(self, queries: Sequence[str] | Iterable[str]) -> BatchReport:
-        workload = list(queries)
-        report = BatchReport(workers=self.workers)
-        plan_before = self.cache.snapshot()
-        answer_before = self.answer_cache.snapshot()
-
-        idle: queue.SimpleQueue[QueryEngine] = queue.SimpleQueue()
-        for engine in self._engines:
-            idle.put(engine)
-
-        def answer(query: str) -> QueryResult:
-            engine = idle.get()
-            try:
-                return engine.answer(query)
-            finally:
-                idle.put(engine)
-
-        started = time.perf_counter()
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            results = list(pool.map(answer, workload))
-        report.elapsed_seconds = time.perf_counter() - started
-
-        for query, result in zip(workload, results):
-            _fold_result(report, query, result)
-        _fold_cache_deltas(report, self.cache, self.answer_cache,
-                           plan_before, answer_before)
-        return report
+        return execute_batch(self._engines, queries, self.cache,
+                             self.answer_cache)

@@ -1,51 +1,55 @@
 """The CAESURA driver: the interleaved plan → map → execute loop (Figure 2).
 
-:class:`QueryEngine` answers one natural-language query against a
-:class:`~repro.data.catalog.DataLake`.  It talks to the planner model
-exclusively through rendered chat prompts (:mod:`repro.core.prompts`) and
-parses the responses with :mod:`repro.core.parsing` — the same contract as a
-remote GPT-4 endpoint, which is what lets :class:`~repro.llm.brain.
-SimulatedBrain` (or any other :class:`~repro.llm.interface.LanguageModel`)
-be plugged in.
+:class:`Engine` answers one natural-language query against a
+:class:`~repro.data.catalog.DataLake`.  It is a thin driver composed of
+three pluggable parts (:mod:`repro.core.interfaces`):
+
+- a :class:`~repro.core.interfaces.Planner` (default:
+  :class:`~repro.core.interfaces.PromptPlanner` over a
+  :class:`~repro.llm.brain.SimulatedBrain`),
+- a :class:`~repro.core.interfaces.Mapper` (default:
+  :class:`~repro.core.interfaces.PromptMapper` over the same model), and
+- an :class:`~repro.core.interfaces.Executor` (default:
+  :class:`~repro.core.interfaces.RegistryExecutor` over the built-in
+  operator registry).
 
 Flow per query:
 
-1. *Discovery*: ask which columns are relevant, turn them into
-   :class:`~repro.core.prompts.ColumnHint`s with example values.
+1. *Discovery*: ask the planner which columns are relevant.
 2. *Planning*: ask for a logical plan (or reuse one from the plan cache).
 3. For each logical step, interleaved: *Mapping* (bind the step to a
    physical operator + arguments) then *Execution* (run the operator over
    the shared :class:`~repro.operators.base.ExecutionContext`).  Each
    operator's observation is fed into the next mapping prompt.
-4. On failure the error-analysis prompt decides between retrying the step
-   with feedback and backtracking to planning (bounded by
+4. On failure the planner's error analysis decides between retrying the
+   step with feedback and backtracking to planning (bounded by
    ``max_replans``).
 
 Every prompt/response pair is recorded in ``last_transcript``; everything
 that happened lands in the returned :class:`~repro.core.plan.QueryResult`'s
 :class:`~repro.core.plan.PlanTrace`, including per-phase wall-clock timings.
+
+:class:`QueryEngine` is the pre-Session spelling of this class and is kept
+as a deprecated shim; new code goes through :class:`repro.session.Session`.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
-from repro.core.parsing import (ErrorAnalysis, parse_error_analysis,
-                                parse_logical_plan, parse_mapping_response,
-                                parse_relevant_columns)
-from repro.core.plan import (ErrorEvent, LogicalPlan, LogicalStep,
-                             Observation, PhysicalStep, PlanTrace,
-                             QueryResult)
-from repro.core.prompts import (ColumnHint, build_discovery_prompt,
-                                build_error_prompt, build_mapping_prompt,
-                                build_planning_prompt)
+from repro.core.interfaces import (Executor, Mapper, Planner, PromptMapper,
+                                   PromptPlanner, RegistryExecutor)
+from repro.core.plan import (ErrorEvent, LogicalPlan, Observation,
+                             PhysicalStep, PlanTrace, QueryResult)
+from repro.core.prompts import ColumnHint
 from repro.data.catalog import DataLake
 from repro.data.table import Table
 from repro.errors import ReproError
 from repro.llm.brain import SimulatedBrain
 from repro.llm.interface import LanguageModel, Transcript
-from repro.operators.base import ExecutionContext, all_cards, build_operator
+from repro.operators.base import ExecutionContext
 from repro.plotting.spec import PlotSpec
 
 
@@ -68,22 +72,38 @@ class _StepFailure:
     should_replan: bool
 
 
-class QueryEngine:
-    """Answers queries end-to-end over one data lake."""
+class Engine:
+    """Answers queries end-to-end over one data lake.
+
+    Internal driver — :class:`repro.session.Session` is the public facade.
+    ``planner``/``mapper``/``executor`` default to the prompt-driven
+    implementations over *model* (itself defaulting to
+    :class:`~repro.llm.brain.SimulatedBrain`); pass explicit instances to
+    swap any of the three roles.
+    """
 
     def __init__(self, lake: DataLake, model: LanguageModel | None = None,
-                 config: EngineConfig | None = None, plan_cache=None,
-                 answer_cache=None):
+                 config: EngineConfig | None = None,
+                 planner: Planner | None = None,
+                 mapper: Mapper | None = None,
+                 executor: Executor | None = None,
+                 plan_cache=None, answer_cache=None):
         self.lake = lake
-        self.model = model if model is not None else SimulatedBrain()
+        if model is None and (planner is None or mapper is None):
+            model = SimulatedBrain()
+        self.model = model
+        self.planner = planner if planner is not None else PromptPlanner(model)
+        self.mapper = mapper if mapper is not None else PromptMapper(model)
+        self.executor = (executor if executor is not None
+                         else RegistryExecutor())
         self.config = config or EngineConfig()
         #: optional :class:`repro.core.batch.PlanCache`; shared across
-        #: engines by the batch runners.
+        #: engines by the batch layer.
         self.plan_cache = plan_cache
         #: optional :class:`repro.core.answer_cache.AnswerCache`; handed to
         #: every :class:`~repro.operators.base.ExecutionContext` so the
         #: modality operators memoize (object, question) answers.  Shared
-        #: across engines by the batch runners.
+        #: across engines by the batch layer.
         self.answer_cache = answer_cache
         self.last_transcript = Transcript()
 
@@ -91,7 +111,7 @@ class QueryEngine:
     # Public API
     # ------------------------------------------------------------------
 
-    def answer(self, query: str) -> QueryResult:
+    def query(self, query: str) -> QueryResult:
         """Answer *query*, returning a :class:`QueryResult` with full trace."""
         trace = PlanTrace(query=query)
         transcript = Transcript()
@@ -156,20 +176,7 @@ class QueryEngine:
                   transcript: Transcript) -> list[ColumnHint]:
         started = time.perf_counter()
         try:
-            messages = build_discovery_prompt(self.lake, query)
-            response = self.model.complete(messages)
-            transcript.record("discovery", messages, response)
-            pairs = parse_relevant_columns(response)
-            hints = []
-            for table_name, column in pairs:
-                if table_name not in self.lake:
-                    continue
-                table = self.lake.table(table_name)
-                if column not in table.column_names:
-                    continue
-                hints.append(ColumnHint(table_name, column,
-                                        table.sample_values(column)))
-            return hints
+            return self.planner.discover(self.lake, query, transcript)
         except ReproError as exc:
             trace.errors.append(ErrorEvent(
                 "planning", None, f"discovery failed: {exc}", recovered=True))
@@ -188,12 +195,10 @@ class QueryEngine:
                 cached = self.plan_cache.get((query, self.fingerprint))
                 if cached is not None:
                     return cached, True
-            messages = build_planning_prompt(self.lake, query, hints,
-                                             few_shot=self.config.few_shot,
-                                             error_feedback=error_feedback)
-            response = self.model.complete(messages)
-            transcript.record("planning", messages, response)
-            return parse_logical_plan(response), False
+            plan = self.planner.plan(self.lake, query, hints, transcript,
+                                     few_shot=self.config.few_shot,
+                                     error_feedback=error_feedback)
+            return plan, False
         finally:
             self._tick(trace, "planning", started)
 
@@ -204,7 +209,7 @@ class QueryEngine:
             tables={name: self.lake.table(name)
                     for name in self.lake.source_names},
             answer_cache=self.answer_cache)
-        cards = all_cards()
+        cards = self.executor.cards()
         observations: list[str] = []
         last_table: Table | None = None
         last_plot: PlotSpec | None = None
@@ -218,26 +223,22 @@ class QueryEngine:
                 started = time.perf_counter()
                 try:
                     window = observations[-self.config.max_observations:]
-                    messages = build_mapping_prompt(
-                        context.tables, cards, step.render(), hints, window,
-                        error_feedback=feedback)
-                    response = self.model.complete(messages)
-                    transcript.record(f"mapping:{step.index}", messages,
-                                      response)
-                    decision = parse_mapping_response(response)
-                    operator = build_operator(decision.operator)
+                    decision = self.mapper.map_step(
+                        context.tables, cards, step, hints, window,
+                        transcript, error_feedback=feedback)
                     self._tick(trace, "mapping", started)
                     phase = "execution"
                     started = time.perf_counter()
-                    result = operator.run(context, decision.arguments)
+                    execution = self.executor.execute(decision, context)
+                    result = execution.result
                     self._tick(trace, "execution", started)
                 except ReproError as exc:
                     self._tick(trace, phase, started)
                     event = ErrorEvent(phase, step.index, str(exc))
                     trace.errors.append(event)
                     step_events.append(event)
-                    analysis = self._analyze_error(query, plan, step, exc,
-                                                   transcript)
+                    analysis = self.planner.analyze_error(query, plan, step,
+                                                          exc, transcript)
                     if analysis is not None and analysis.backtrack_to_planning:
                         return _StepFailure(event, should_replan=True)
                     feedback = str(exc)
@@ -246,7 +247,7 @@ class QueryEngine:
                 for event in step_events:
                     event.recovered = True
                 trace.physical_steps.append(PhysicalStep(
-                    logical=step, operator=operator.name,
+                    logical=step, operator=execution.operator,
                     arguments=decision.arguments,
                     reasoning=decision.reasoning))
                 observation = (result.observation
@@ -265,18 +266,6 @@ class QueryEngine:
             if not succeeded:
                 return _StepFailure(step_events[-1], should_replan=False)
         return self._finalize(trace, last_table, last_plot)
-
-    def _analyze_error(self, query: str, plan: LogicalPlan,
-                       step: LogicalStep, error: Exception,
-                       transcript: Transcript) -> ErrorAnalysis | None:
-        try:
-            messages = build_error_prompt(query, plan.render(), step.render(),
-                                          str(error))
-            response = self.model.complete(messages)
-            transcript.record(f"error:{step.index}", messages, response)
-            return parse_error_analysis(response)
-        except ReproError:
-            return None
 
     def _finalize(self, trace: PlanTrace, table: Table | None,
                   plot: PlotSpec | None) -> QueryResult:
@@ -299,3 +288,26 @@ class QueryEngine:
     def _tick(trace: PlanTrace, phase: str, started: float) -> None:
         elapsed = time.perf_counter() - started
         trace.timings[phase] = trace.timings.get(phase, 0.0) + elapsed
+
+
+class QueryEngine(Engine):
+    """Deprecated pre-Session engine entry point.
+
+    Construction emits one :class:`DeprecationWarning`; behaviour is
+    identical to :class:`Engine` plus the historical :meth:`answer`
+    spelling.  Use :class:`repro.session.Session` instead.
+    """
+
+    def __init__(self, lake: DataLake, model: LanguageModel | None = None,
+                 config: EngineConfig | None = None, plan_cache=None,
+                 answer_cache=None):
+        warnings.warn(
+            "QueryEngine is deprecated; use repro.session.Session "
+            "(e.g. Session(lake).query(...))",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(lake, model=model, config=config,
+                         plan_cache=plan_cache, answer_cache=answer_cache)
+
+    def answer(self, query: str) -> QueryResult:
+        """Historical name of :meth:`Engine.query`."""
+        return self.query(query)

@@ -5,6 +5,11 @@ declared inputs/outputs (the Planning Phase output, Figure 2).  A *physical
 plan* binds each step to a concrete operator and its arguments (the Mapping
 Phase output).  Because mapping is interleaved with execution, the physical
 plan is materialized incrementally.
+
+Every type in this module is a serializable IR node: ``to_dict()`` produces
+a JSON-safe dict and ``from_dict()`` reconstructs an equal object, so plans,
+traces, and results can cross process and disk boundaries (plan-cache
+persistence, process workers, result archives).
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from repro.data.datatypes import decode_scalar, encode_scalar
 from repro.data.table import Table
 from repro.plotting.spec import PlotSpec
 
@@ -33,6 +39,18 @@ class LogicalStep:
         lines.append(f"Output: {self.output}")
         lines.append(f"New Columns: {self.new_columns!r}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "description": self.description,
+                "inputs": list(self.inputs), "output": self.output,
+                "new_columns": list(self.new_columns)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LogicalStep":
+        return cls(index=data["index"], description=data["description"],
+                   inputs=list(data.get("inputs", [])),
+                   output=data.get("output", ""),
+                   new_columns=list(data.get("new_columns", [])))
 
 
 @dataclass
@@ -55,6 +73,16 @@ class LogicalPlan:
         parts.extend(step.render() for step in self.steps)
         parts.append(f"Step {len(self.steps) + 1}: Plan completed.")
         return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        return {"steps": [step.to_dict() for step in self.steps],
+                "thought": self.thought}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LogicalPlan":
+        return cls(steps=[LogicalStep.from_dict(s)
+                          for s in data.get("steps", [])],
+                   thought=data.get("thought", ""))
 
     def dataflow_graph(self) -> "nx.DiGraph":
         """Table-level dataflow DAG (tables and steps as nodes)."""
@@ -87,6 +115,18 @@ class PhysicalStep:
                 f"Operator: {self.operator}\n"
                 f"Arguments: ({'; '.join(self.arguments)})")
 
+    def to_dict(self) -> dict:
+        return {"logical": self.logical.to_dict(), "operator": self.operator,
+                "arguments": list(self.arguments),
+                "reasoning": self.reasoning}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhysicalStep":
+        return cls(logical=LogicalStep.from_dict(data["logical"]),
+                   operator=data["operator"],
+                   arguments=list(data["arguments"]),
+                   reasoning=data.get("reasoning", ""))
+
 
 @dataclass
 class Observation:
@@ -94,6 +134,13 @@ class Observation:
 
     step_index: int
     text: str
+
+    def to_dict(self) -> dict:
+        return {"step_index": self.step_index, "text": self.text}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Observation":
+        return cls(step_index=data["step_index"], text=data["text"])
 
 
 @dataclass
@@ -104,6 +151,16 @@ class ErrorEvent:
     step_index: int | None
     message: str
     recovered: bool = False
+
+    def to_dict(self) -> dict:
+        return {"phase": self.phase, "step_index": self.step_index,
+                "message": self.message, "recovered": self.recovered}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ErrorEvent":
+        return cls(phase=data["phase"], step_index=data.get("step_index"),
+                   message=data["message"],
+                   recovered=data.get("recovered", False))
 
 
 @dataclass
@@ -131,6 +188,35 @@ class PlanTrace:
     def operators_used(self) -> list[str]:
         return [step.operator for step in self.physical_steps]
 
+    def to_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "logical_plan": (self.logical_plan.to_dict()
+                             if self.logical_plan is not None else None),
+            "physical_steps": [s.to_dict() for s in self.physical_steps],
+            "observations": [o.to_dict() for o in self.observations],
+            "errors": [e.to_dict() for e in self.errors],
+            "replans": self.replans,
+            "timings": dict(self.timings),
+            "plan_cache_hit": self.plan_cache_hit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlanTrace":
+        plan = data.get("logical_plan")
+        return cls(
+            query=data["query"],
+            logical_plan=(LogicalPlan.from_dict(plan)
+                          if plan is not None else None),
+            physical_steps=[PhysicalStep.from_dict(s)
+                            for s in data.get("physical_steps", [])],
+            observations=[Observation.from_dict(o)
+                          for o in data.get("observations", [])],
+            errors=[ErrorEvent.from_dict(e) for e in data.get("errors", [])],
+            replans=data.get("replans", 0),
+            timings=dict(data.get("timings", {})),
+            plan_cache_hit=data.get("plan_cache_hit", False))
+
 
 @dataclass
 class QueryResult:
@@ -156,3 +242,27 @@ class QueryResult:
             return (f"{self.plot.kind} plot of {self.plot.y_label} over "
                     f"{self.plot.x_label}")
         return f"error: {self.error}"
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe encoding of the full result (incl. trace)."""
+        return {
+            "kind": self.kind,
+            "value": encode_scalar(self.value),
+            "table": self.table.to_dict() if self.table is not None else None,
+            "plot": self.plot.to_dict() if self.plot is not None else None,
+            "trace": self.trace.to_dict() if self.trace is not None else None,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryResult":
+        table = data.get("table")
+        plot = data.get("plot")
+        trace = data.get("trace")
+        return cls(
+            kind=data["kind"],
+            value=decode_scalar(data.get("value")),
+            table=Table.from_dict(table) if table is not None else None,
+            plot=PlotSpec.from_dict(plot) if plot is not None else None,
+            trace=PlanTrace.from_dict(trace) if trace is not None else None,
+            error=data.get("error", ""))

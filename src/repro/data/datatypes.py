@@ -60,6 +60,33 @@ class DataType(enum.Enum):
         raise TypeMismatchError(f"unknown datatype {name!r}")
 
 
+def encode_scalar(value: object) -> object:
+    """Encode one relational scalar as a JSON-safe value.
+
+    ``int``/``float``/``str``/``bool``/``None`` pass through; ``date`` and
+    ``datetime`` become a ``{"$date": iso}`` tagged dict so decoding is
+    lossless without schema context.  Anything else raises.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, datetime):                # before date: a subclass
+        return {"$datetime": value.isoformat()}
+    if isinstance(value, date):
+        return {"$date": value.isoformat()}
+    raise TypeMismatchError(
+        f"cannot JSON-encode scalar of type {type(value).__name__}")
+
+
+def decode_scalar(value: object) -> object:
+    """Inverse of :func:`encode_scalar`."""
+    if isinstance(value, dict):
+        if set(value) == {"$date"}:
+            return date.fromisoformat(value["$date"])
+        if set(value) == {"$datetime"}:
+            return datetime.fromisoformat(value["$datetime"])
+    return value
+
+
 def infer_type(value: object) -> DataType:
     """Infer the :class:`DataType` of a single Python value."""
     if isinstance(value, bool):

@@ -25,6 +25,15 @@ class ColumnSpec:
     def prompt_repr(self) -> str:
         return f"'{self.name}': '{self.dtype.value}'"
 
+    def to_dict(self) -> dict:
+        return {"name": self.name, "dtype": self.dtype.value,
+                "description": self.description}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ColumnSpec":
+        return cls(name=data["name"], dtype=DataType.parse(data["dtype"]),
+                   description=data.get("description", ""))
+
 
 @dataclass(frozen=True)
 class ForeignKey:
@@ -37,6 +46,15 @@ class ForeignKey:
     def prompt_repr(self, table: str) -> str:
         return (f"{table}.{self.column} = "
                 f"{self.other_table}.{self.other_column}")
+
+    def to_dict(self) -> dict:
+        return {"column": self.column, "other_table": self.other_table,
+                "other_column": self.other_column}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ForeignKey":
+        return cls(column=data["column"], other_table=data["other_table"],
+                   other_column=data["other_column"])
 
 
 @dataclass
@@ -100,6 +118,23 @@ class Schema:
                                     if fk.column not in names],
                       primary_key=(self.primary_key
                                    if self.primary_key not in names else None))
+
+    def to_dict(self) -> dict:
+        return {
+            "columns": [spec.to_dict() for spec in self.columns],
+            "description": self.description,
+            "foreign_keys": [fk.to_dict() for fk in self.foreign_keys],
+            "primary_key": self.primary_key,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schema":
+        return cls(
+            columns=[ColumnSpec.from_dict(c) for c in data["columns"]],
+            description=data.get("description", ""),
+            foreign_keys=[ForeignKey.from_dict(fk)
+                          for fk in data.get("foreign_keys", [])],
+            primary_key=data.get("primary_key"))
 
     def prompt_repr(self, table_name: str, num_rows: int) -> str:
         """Serialize for a CAESURA prompt (Figure 3 format)."""

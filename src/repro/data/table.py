@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
-from repro.data.datatypes import DataType, coerce, infer_column_type
+from repro.data.datatypes import (DataType, coerce, decode_scalar,
+                                  encode_scalar, infer_column_type)
 from repro.data.schema import ColumnSpec, Schema
 from repro.errors import SchemaError, UnknownColumnError
 
@@ -253,6 +254,63 @@ class Table:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         cols = ", ".join(f"{c.name}:{c.dtype.value}" for c in self.schema.columns)
         return f"Table({self.num_rows} rows, [{cols}])"
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe encoding (schema + per-column values).
+
+        Relational values are encoded with
+        :func:`~repro.data.datatypes.encode_scalar` (dates become tagged
+        dicts); IMAGE cells holding :class:`~repro.vision.image.Image`
+        objects become ``{"$image": ...}`` tagged dicts; TEXT cells are
+        plain strings.
+        """
+        columns: dict[str, list[object]] = {}
+        for spec in self.schema.columns:
+            values = self._columns[spec.name]
+            if spec.dtype is DataType.IMAGE:
+                columns[spec.name] = [self._encode_image(v) for v in values]
+            else:
+                columns[spec.name] = [encode_scalar(v) for v in values]
+        return {"schema": self.schema.to_dict(), "columns": columns}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Table":
+        """Inverse of :meth:`to_dict`."""
+        schema = Schema.from_dict(data["schema"])
+        columns: dict[str, list[object]] = {}
+        for spec in schema.columns:
+            values = data["columns"][spec.name]
+            if spec.dtype is DataType.IMAGE:
+                columns[spec.name] = [cls._decode_image(v) for v in values]
+            else:
+                columns[spec.name] = [decode_scalar(v) for v in values]
+        return cls(schema, columns)
+
+    @staticmethod
+    def _encode_image(value: object) -> object:
+        from repro.vision.image import Image
+        if isinstance(value, Image):
+            return {"$image": value.to_dict()}
+        return encode_scalar(value)
+
+    @staticmethod
+    def _decode_image(value: object) -> object:
+        if isinstance(value, dict) and set(value) == {"$image"}:
+            from repro.vision.image import Image
+            return Image.from_dict(value["$image"])
+        return decode_scalar(value)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: schema (incl. dtypes) and cell values."""
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.schema == other.schema and self._columns == other._columns
+
+    __hash__ = None  # mutable container semantics
 
     def equals(self, other: "Table", ignore_order: bool = False) -> bool:
         """Structural equality on column names and values (not descriptions)."""

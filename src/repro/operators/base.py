@@ -93,33 +93,82 @@ class PhysicalOperator:
         return [a.strip() for a in args]
 
 
-_REGISTRY: dict[str, Callable[[], PhysicalOperator]] = {}
+class OperatorRegistry:
+    """Operator factories keyed by their prompt card.
+
+    The registry is the only coupling between the engine loop and the
+    operator set: the engine asks it for the :class:`OperatorCard` list to
+    inject into mapping prompts and resolves the mapping phase's operator
+    choice back to a factory.  New operators (joins, date-range filters,
+    new modalities) therefore plug in by registering a card + factory —
+    no engine internals involved.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[], PhysicalOperator]] = {}
+        self._cards: dict[str, OperatorCard] = {}
+
+    def register(self, factory: Callable[[], PhysicalOperator],
+                 card: OperatorCard | None = None) -> None:
+        """Register *factory* under *card* (default: the operator's own)."""
+        if card is None:
+            card = factory().card
+        key = card.name.strip().lower()
+        self._factories[key] = factory
+        self._cards[key] = card
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name.strip().lower() in self._factories
+
+    def names(self) -> list[str]:
+        return [card.name for card in self._cards.values()]
+
+    def cards(self) -> list[OperatorCard]:
+        return list(self._cards.values())
+
+    def build(self, name: str) -> PhysicalOperator:
+        """Instantiate an operator by (case-insensitive) card name."""
+        key = name.strip().lower()
+        if key not in self._factories:
+            # tolerate the model writing e.g. "SQL (Join)" for "SQL"
+            for registered in self._factories:
+                if key.startswith(registered) or registered.startswith(key):
+                    key = registered
+                    break
+            else:
+                raise OperatorError(
+                    f"unknown operator {name!r}; available: "
+                    f"{', '.join(self.names())}", operator=name)
+        return self._factories[key]()
+
+    def copy(self) -> "OperatorRegistry":
+        """A shallow copy — seed a custom registry with the defaults."""
+        clone = OperatorRegistry()
+        clone._factories = dict(self._factories)
+        clone._cards = dict(self._cards)
+        return clone
+
+
+#: Registry the built-in operators register themselves into at import time;
+#: engines use it unless an explicit registry is composed in.
+DEFAULT_REGISTRY = OperatorRegistry()
 
 
 def register_operator(factory: Callable[[], PhysicalOperator]) -> None:
-    operator = factory()
-    _REGISTRY[operator.name.lower()] = factory
+    DEFAULT_REGISTRY.register(factory)
 
 
 def operator_names() -> list[str]:
-    return [factory().name for factory in _REGISTRY.values()]
+    return DEFAULT_REGISTRY.names()
 
 
 def build_operator(name: str) -> PhysicalOperator:
     """Instantiate an operator by (case-insensitive) name."""
-    key = name.strip().lower()
-    if key not in _REGISTRY:
-        # tolerate the model writing e.g. "SQL (Join)" for "SQL"
-        for registered in _REGISTRY:
-            if key.startswith(registered) or registered.startswith(key):
-                key = registered
-                break
-        else:
-            raise OperatorError(
-                f"unknown operator {name!r}; available: "
-                f"{', '.join(operator_names())}", operator=name)
-    return _REGISTRY[key]()
+    return DEFAULT_REGISTRY.build(name)
 
 
 def all_cards() -> list[OperatorCard]:
-    return [factory().card for factory in _REGISTRY.values()]
+    return DEFAULT_REGISTRY.cards()

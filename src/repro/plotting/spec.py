@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.data.datatypes import decode_scalar, encode_scalar
+
 PLOT_KINDS = ("bar", "line", "scatter", "hist")
 
 
@@ -44,3 +46,24 @@ class PlotSpec:
 
     def series(self) -> list[tuple[object, object]]:
         return list(zip(self.x_values, self.y_values))
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe encoding (axis values may include dates)."""
+        return {
+            "kind": self.kind,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "x_values": [encode_scalar(v) for v in self.x_values],
+            "y_values": [encode_scalar(v) for v in self.y_values],
+            "title": self.title,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlotSpec":
+        return cls(
+            kind=data["kind"],
+            x_label=data["x_label"],
+            y_label=data["y_label"],
+            x_values=[decode_scalar(v) for v in data["x_values"]],
+            y_values=[decode_scalar(v) for v in data["y_values"]],
+            title=data.get("title", ""))

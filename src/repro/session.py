@@ -1,0 +1,210 @@
+"""The public entry point: one :class:`Session` owns lake + configuration.
+
+A :class:`Session` packages everything needed to answer natural-language
+queries over one :class:`~repro.data.catalog.DataLake` — the planner brain,
+the engine configuration, and the two caches — behind three methods:
+
+- :meth:`Session.query` answers one query;
+- :meth:`Session.batch` drains a workload, serially or over N worker
+  threads, and returns a :class:`~repro.core.batch.BatchReport`;
+- :meth:`Session.bench` runs the benchmark harness over this session's
+  lake.
+
+The CLI, the benchmark harness, and the test suite all drive the system
+through this facade.  Both caches are shared by every query and batch of
+the session, so repeated workloads run warm; plans survive across runs via
+:meth:`save_plan_cache` / :meth:`load_plan_cache` (the serializable plan
+IR makes the cache file portable).
+
+Underneath, a session composes :class:`~repro.core.engine.Engine` instances
+from pluggable :class:`~repro.core.interfaces.Planner` /
+:class:`~repro.core.interfaces.Mapper` / :class:`~repro.core.interfaces.
+Executor` parts; pass any of the three to swap a role (e.g. an executor
+over a custom operator registry) while keeping the rest of the stack.
+
+Example::
+
+    from repro import Session
+
+    session = Session("rotowire")
+    result = session.query("How many players are taller than 200?")
+    report = session.batch(["...", "..."], workers=4)
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.answer_cache import AnswerCache
+from repro.core.batch import (DEFAULT_ANSWER_CACHE_SIZE, BatchReport,
+                              PlanCache, execute_batch)
+from repro.core.engine import Engine, EngineConfig
+from repro.core.interfaces import Executor, Mapper, Planner
+from repro.core.plan import QueryResult
+from repro.data.catalog import DataLake
+from repro.llm.brain import SimulatedBrain
+from repro.llm.interface import LanguageModel, Transcript
+
+
+class Session:
+    """One configured connection to a data lake.
+
+    *lake* is a :class:`~repro.data.catalog.DataLake` or a dataset name
+    (``"artwork"`` / ``"rotowire"``, loaded at default seed and scale via
+    :func:`repro.datasets.load_lake`).
+
+    *brain* is the :class:`~repro.llm.interface.LanguageModel` behind the
+    default prompt-driven planner and mapper (default:
+    :class:`~repro.llm.brain.SimulatedBrain`).  For multi-worker batches
+    the single instance is shared by all workers and must be thread-safe
+    (``SimulatedBrain`` is).  *planner*, *mapper*, and *executor* override
+    the corresponding role outright; they too are shared across worker
+    engines and must be stateless across calls.
+
+    *plan_cache* / *answer_cache* default to fresh caches of
+    *plan_cache_size* / *answer_cache_size*; pass existing instances to
+    share warmth between sessions or to start from a cache rehydrated
+    with :meth:`~repro.core.batch.PlanCache.load`.
+    """
+
+    def __init__(self, lake: DataLake | str,
+                 brain: LanguageModel | None = None,
+                 config: EngineConfig | None = None,
+                 plan_cache: PlanCache | None = None,
+                 answer_cache: AnswerCache | None = None,
+                 planner: Planner | None = None,
+                 mapper: Mapper | None = None,
+                 executor: Executor | None = None,
+                 plan_cache_size: int = 128,
+                 answer_cache_size: int = DEFAULT_ANSWER_CACHE_SIZE):
+        if isinstance(lake, str):
+            from repro.datasets import load_lake
+            lake = load_lake(lake)
+        self.lake = lake
+        self.config = config or EngineConfig()
+        if brain is None and (planner is None or mapper is None):
+            brain = SimulatedBrain()
+        self.brain = brain
+        self.planner = planner
+        self.mapper = mapper
+        self.executor = executor
+        self.plan_cache = (plan_cache if plan_cache is not None
+                           else PlanCache(plan_cache_size))
+        self.answer_cache = (answer_cache if answer_cache is not None
+                             else AnswerCache(answer_cache_size))
+        self._engines: list[Engine] = []
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def query(self, query: str) -> QueryResult:
+        """Answer one natural-language query with a full trace."""
+        return self._pool(1)[0].query(query)
+
+    def batch(self, queries: Sequence[str] | Iterable[str],
+              workers: int = 1) -> BatchReport:
+        """Drain *queries* through *workers* worker engines.
+
+        ``workers=1`` runs serially; more workers drain the workload
+        through a thread pool, all sharing this session's plan and answer
+        caches.  Consecutive calls share cache warmth, but each report
+        accounts only its own run.
+        """
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        return execute_batch(self._pool(workers), queries,
+                             self.plan_cache, self.answer_cache)
+
+    def bench(self, workers: Sequence[int] = (1, 2, 4), repeats: int = 3,
+              llm_latency_ms: float | None = None,
+              output: str | None = None, quiet: bool = True) -> dict:
+        """Run the benchmark harness over this session's lake and stack.
+
+        Each worker count gets a fresh child session — same lake, brain,
+        config, and planner/mapper/executor overrides, but cold caches —
+        and a cold + warm pass (see :mod:`repro.benchmarks.harness`); this
+        session's own caches are not touched.  *llm_latency_ms* replaces
+        the brain with a :class:`~repro.llm.brain.SimulatedBrain` at that
+        simulated latency (``None`` benchmarks the session's own brain).
+        Returns the benchmark record (and writes it to *output* when
+        given).
+        """
+        from repro.benchmarks.harness import BenchConfig, run_benchmark
+        if llm_latency_ms is None:
+            brain = self.brain
+        else:
+            if self.planner is not None or self.mapper is not None:
+                # A planner/mapper override takes precedence over any
+                # brain, so the requested latency would never apply — and
+                # the benchmark record would lie about it.
+                raise ValueError(
+                    "llm_latency_ms cannot override a custom planner/"
+                    "mapper; pass llm_latency_ms=None to benchmark the "
+                    "session's own stack")
+            brain = SimulatedBrain(latency_seconds=llm_latency_ms / 1000.0)
+
+        def child_session() -> "Session":
+            return Session(self.lake, brain=brain, config=self.config,
+                           planner=self.planner, mapper=self.mapper,
+                           executor=self.executor)
+
+        config = BenchConfig(dataset=self.lake.name, workers=tuple(workers),
+                             repeats=repeats,
+                             llm_latency_ms=llm_latency_ms,
+                             output=output, quiet=quiet)
+        return run_benchmark(config, lake=self.lake,
+                             session_factory=child_session)
+
+    # ------------------------------------------------------------------
+    # Introspection & persistence
+    # ------------------------------------------------------------------
+
+    @property
+    def last_transcript(self) -> Transcript:
+        """Prompt/response transcript of the most recent :meth:`query`."""
+        engines = self._pool(1)
+        return engines[0].last_transcript
+
+    def save_plan_cache(self, path: str | Path) -> int:
+        """Persist the plan cache; returns the number of entries written."""
+        return self.plan_cache.save(path)
+
+    def load_plan_cache(self, path: str | Path,
+                        capacity: int | None = None) -> int:
+        """Replace the plan cache with one rehydrated from *path*.
+
+        *capacity* overrides the capacity persisted in the file.  Returns
+        the number of plans loaded.  Cached plans are only served for
+        matching ``(query, lake fingerprint)`` keys, so loading a file
+        saved against a different lake is safe — it just never hits.
+        """
+        cache = PlanCache.load(path, capacity=capacity)
+        with self._pool_lock:
+            self.plan_cache = cache
+            for engine in self._engines:
+                engine.plan_cache = cache
+        return len(cache)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _pool(self, workers: int) -> list[Engine]:
+        """The first *workers* engines, growing the pool as needed.
+
+        Engines are created lazily and reused across calls (they carry
+        per-query mutable state, so each in-flight query needs its own),
+        all sharing the session's brain, caches, and role overrides.
+        """
+        with self._pool_lock:
+            while len(self._engines) < workers:
+                self._engines.append(Engine(
+                    self.lake, model=self.brain, config=self.config,
+                    planner=self.planner, mapper=self.mapper,
+                    executor=self.executor, plan_cache=self.plan_cache,
+                    answer_cache=self.answer_cache))
+            return self._engines[:workers]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import base64
 import hashlib
 
 import numpy as np
@@ -50,6 +51,23 @@ class Image:
             digest.update(self.pixels.tobytes())
             self._fingerprint = digest.hexdigest()[:24]
         return self._fingerprint
+
+    def to_dict(self) -> dict:
+        """JSON-safe lossless encoding (raw pixel bytes, base64)."""
+        return {
+            "path": self.path,
+            "height": self.height,
+            "width": self.width,
+            "pixels_b64": base64.b64encode(self.pixels.tobytes())
+                          .decode("ascii"),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Image":
+        raw = base64.b64decode(data["pixels_b64"])
+        pixels = np.frombuffer(raw, dtype=np.uint8).reshape(
+            (data["height"], data["width"], 3))
+        return cls(pixels.copy(), path=data.get("path", ""))
 
     def __repr__(self) -> str:
         label = self.path or "unnamed"

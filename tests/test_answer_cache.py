@@ -6,8 +6,9 @@ import threading
 import numpy as np
 import pytest
 
+from repro import Session
 from repro.core.answer_cache import MISS, AnswerCache, text_fingerprint
-from repro.core.engine import QueryEngine
+from repro.core.engine import Engine
 from repro.vision.image import Image
 
 
@@ -86,13 +87,13 @@ def test_concurrent_hammering_keeps_counters_consistent():
 
 
 def _run_twice(lake, query):
-    """Run *query* twice through one engine sharing one answer cache."""
+    """Run *query* twice through one session sharing one answer cache."""
     cache = AnswerCache()
-    engine = QueryEngine(lake, answer_cache=cache)
-    first = engine.answer(query)
+    session = Session(lake, answer_cache=cache)
+    first = session.query(query)
     assert first.ok, first.error
     hits_0, misses_0, _ = cache.snapshot()
-    second = engine.answer(query)
+    second = session.query(query)
     assert second.ok, second.error
     hits_1, misses_1, _ = cache.snapshot()
     return first, second, (hits_0, misses_0), (hits_1, misses_1)
@@ -127,15 +128,15 @@ def test_text_qa_answers_are_memoized(rotowire_lake):
 
 def test_cached_answers_match_uncached_run(artwork_lake):
     query = "How many paintings are depicting a sword?"
-    uncached = QueryEngine(artwork_lake).answer(query)
-    cached = QueryEngine(artwork_lake,
-                         answer_cache=AnswerCache()).answer(query)
+    uncached = Engine(artwork_lake).query(query)
+    cached = Session(artwork_lake,
+                     answer_cache=AnswerCache()).query(query)
     assert uncached.ok and cached.ok
     assert uncached.value == cached.value
 
 
 def test_engine_without_cache_has_no_cache_side_effects(rotowire_lake):
-    engine = QueryEngine(rotowire_lake)
+    engine = Engine(rotowire_lake)
     assert engine.answer_cache is None
-    result = engine.answer("How many games did the Heat win?")
+    result = engine.query("How many games did the Heat win?")
     assert result.ok

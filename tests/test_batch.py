@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.batch import BatchRunner, PlanCache
+from repro import Session
+from repro.core.batch import PlanCache
 from repro.core.plan import LogicalPlan, LogicalStep
 
 BATCH = [
@@ -58,8 +59,8 @@ def test_cache_rejects_non_positive_capacity():
 
 
 def test_batch_runner_reports_cache_and_timings(rotowire_lake):
-    runner = BatchRunner(rotowire_lake, cache_size=32)
-    report = runner.run(BATCH)
+    session = Session(rotowire_lake, plan_cache_size=32)
+    report = session.batch(BATCH)
 
     assert report.num_queries == len(BATCH) >= 10
     assert report.num_errors == 0, [s.query for s in report.stats
@@ -79,8 +80,8 @@ def test_batch_runner_reports_cache_and_timings(rotowire_lake):
 
 
 def test_batch_report_renders_summary(rotowire_lake):
-    runner = BatchRunner(rotowire_lake, cache_size=32)
-    report = runner.run(BATCH[:3])
+    session = Session(rotowire_lake, plan_cache_size=32)
+    report = session.batch(BATCH[:3])
     text = report.render()
     assert "plan cache" in text
     assert "per-stage wall clock" in text

@@ -1,21 +1,23 @@
-"""Tests for the command-line entry point."""
+"""Tests for the command-line entry point (subcommand syntax)."""
+
+import json
 
 import pytest
 
+import repro
 from repro.cli import main, read_batch_file
 
 
 def test_cli_single_value_query(capsys):
-    code = main(["--dataset", "rotowire",
-                 "--query", "How many players are taller than 200?"])
+    code = main(["query", "--dataset", "rotowire",
+                 "How many players are taller than 200?"])
     assert code == 0
     assert "value:" in capsys.readouterr().out
 
 
 def test_cli_plot_query_renders_ascii(capsys):
-    code = main(["--dataset", "rotowire", "--trace",
-                 "--query", "Plot the average height of players "
-                            "per position."])
+    code = main(["query", "--dataset", "rotowire", "--trace",
+                 "Plot the average height of players per position."])
     assert code == 0
     out = capsys.readouterr().out
     assert "[bar]" in out
@@ -23,7 +25,7 @@ def test_cli_plot_query_renders_ascii(capsys):
 
 
 def test_cli_error_exit_code(capsys):
-    code = main(["--dataset", "rotowire", "--query", "levitate please"])
+    code = main(["query", "--dataset", "rotowire", "levitate please"])
     assert code == 1
     assert "error:" in capsys.readouterr().out
 
@@ -35,7 +37,7 @@ def test_cli_batch_mode(tmp_path, capsys):
                      "\n"
                      "How many players are taller than 200?\n",
                      encoding="utf-8")
-    code = main(["--dataset", "rotowire", "--batch", str(batch)])
+    code = main(["batch", "--dataset", "rotowire", str(batch)])
     assert code == 0
     out = capsys.readouterr().out
     assert "plan cache: 1 hits, 1 misses" in out
@@ -47,7 +49,7 @@ def test_cli_batch_mode_parallel(tmp_path, capsys):
                      "Who is the tallest player?\n"
                      "How many players are taller than 200?\n",
                      encoding="utf-8")
-    code = main(["--dataset", "rotowire", "--batch", str(batch),
+    code = main(["batch", "--dataset", "rotowire", str(batch),
                  "--workers", "2"])
     assert code == 0
     out = capsys.readouterr().out
@@ -56,8 +58,8 @@ def test_cli_batch_mode_parallel(tmp_path, capsys):
 
 
 def test_cli_scale_flag(capsys):
-    code = main(["--dataset", "rotowire", "--scale", "0.2",
-                 "--query", "How many players are taller than 200?"])
+    code = main(["query", "--dataset", "rotowire", "--scale", "0.2",
+                 "How many players are taller than 200?"])
     assert code == 0
     assert "value:" in capsys.readouterr().out
 
@@ -77,7 +79,7 @@ def test_cli_bench_subcommand(tmp_path, capsys):
 def test_cli_empty_batch_file(tmp_path, capsys):
     batch = tmp_path / "empty.txt"
     batch.write_text("# nothing here\n", encoding="utf-8")
-    code = main(["--dataset", "rotowire", "--batch", str(batch)])
+    code = main(["batch", "--dataset", "rotowire", str(batch)])
     assert code == 2
     assert "no queries found" in capsys.readouterr().err
 
@@ -89,6 +91,56 @@ def test_read_batch_file_skips_comments_and_blanks(tmp_path):
     assert read_batch_file(str(batch)) == ["query one", "query two"]
 
 
-def test_cli_requires_query_or_batch(capsys):
+def test_cli_query_requires_query_argument(capsys):
     with pytest.raises(SystemExit):
-        main(["--dataset", "rotowire"])
+        main(["query", "--dataset", "rotowire"])
+
+
+def test_cli_no_arguments_prints_usage(capsys):
+    code = main([])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "usage: repro" in out
+    assert "query" in out and "batch" in out and "bench" in out
+
+
+def test_cli_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+def test_cli_plan_cache_file_second_run_is_all_hits(tmp_path, capsys):
+    batch = tmp_path / "queries.txt"
+    batch.write_text("How many players are taller than 200?\n"
+                     "Who is the tallest player?\n",
+                     encoding="utf-8")
+    cache_file = tmp_path / "plans.json"
+    argv = ["batch", "--dataset", "rotowire", str(batch),
+            "--plan-cache-file", str(cache_file)]
+
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "plan cache: 0 hits, 2 misses" in first
+    assert cache_file.exists()
+    payload = json.loads(cache_file.read_text(encoding="utf-8"))
+    assert len(payload["entries"]) == 2
+
+    # The second run rehydrates the cache: 100% plan-cache hits.
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "plan cache: 2 hits, 0 misses" in second
+    assert "hit rate 100%" in second
+
+
+def test_cli_plan_cache_file_on_single_query(tmp_path, capsys):
+    cache_file = tmp_path / "plans.json"
+    argv = ["query", "--dataset", "rotowire",
+            "--plan-cache-file", str(cache_file),
+            "How many players are taller than 200?"]
+    assert main(argv) == 0
+    assert cache_file.exists()
+    capsys.readouterr()
+    assert main(argv) == 0  # second run loads the file and still answers
+    assert "value:" in capsys.readouterr().out

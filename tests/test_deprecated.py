@@ -1,0 +1,80 @@
+"""The deprecated entry points still work — and warn exactly once.
+
+The rest of the suite runs with ``-W error::DeprecationWarning`` (see
+``pyproject.toml``), so internal code can never route through these shims;
+this module is the one place that exercises them, catching the warnings
+with ``pytest.warns``.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core.batch import BatchRunner, ParallelBatchRunner
+from repro.core.engine import QueryEngine
+
+QUERY = "How many players are taller than 200?"
+BATCH = [QUERY, "Who is the tallest player?", QUERY]
+
+
+def _deprecations(record) -> list[str]:
+    return [str(w.message) for w in record
+            if issubclass(w.category, DeprecationWarning)]
+
+
+def test_query_engine_warns_once_and_answers(rotowire_lake):
+    with pytest.warns(DeprecationWarning) as record:
+        engine = QueryEngine(rotowire_lake)
+        result = engine.answer(QUERY)
+    warnings = _deprecations(record)
+    assert len(warnings) == 1
+    assert "Session" in warnings[0]
+    assert result.ok and result.kind == "value"
+    trace = result.trace
+    assert trace is not None and not trace.crashed
+    assert len(trace.physical_steps) == len(trace.logical_plan)
+
+
+def test_batch_runner_warns_once_and_runs(rotowire_lake):
+    with pytest.warns(DeprecationWarning) as record:
+        runner = BatchRunner(rotowire_lake, cache_size=16)
+        report = runner.run(BATCH)
+    assert len(_deprecations(record)) == 1
+    assert report.num_queries == 3 and report.num_errors == 0
+    assert report.cache_hits == 1 and report.cache_misses == 2
+
+
+def test_parallel_batch_runner_warns_once_and_runs(rotowire_lake):
+    with pytest.warns(DeprecationWarning) as record:
+        runner = ParallelBatchRunner(rotowire_lake, workers=2)
+        report = runner.run(BATCH)
+    assert len(_deprecations(record)) == 1
+    assert report.workers == 2
+    assert report.num_queries == 3 and report.num_errors == 0
+
+
+def test_legacy_cli_query_flags_warn_once_and_work(capsys):
+    with pytest.warns(DeprecationWarning) as record:
+        code = main(["--dataset", "rotowire", "--query", QUERY])
+    warnings = _deprecations(record)
+    assert len(warnings) == 1
+    assert "subcommand" in warnings[0]
+    assert code == 0
+    assert "value:" in capsys.readouterr().out
+
+
+def test_legacy_cli_batch_flags_warn_once_and_work(tmp_path, capsys):
+    batch = tmp_path / "queries.txt"
+    batch.write_text("\n".join(BATCH) + "\n", encoding="utf-8")
+    with pytest.warns(DeprecationWarning) as record:
+        code = main(["--dataset", "rotowire", "--batch", str(batch),
+                     "--workers", "2"])
+    assert len(_deprecations(record)) == 1
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 worker(s)" in out
+
+
+def test_legacy_cli_requires_query_or_batch():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(SystemExit):
+            main(["--dataset", "rotowire"])

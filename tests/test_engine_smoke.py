@@ -7,7 +7,7 @@ answer, not just the shape.
 
 import pytest
 
-from repro.core.engine import EngineConfig, QueryEngine
+from repro import EngineConfig, Session
 from repro.core.prompts import PLANNING_MARKER
 from repro.errors import LLMError
 from repro.llm.brain import SimulatedBrain
@@ -46,7 +46,7 @@ def _assert_trace_shape(result):
 
 @pytest.mark.parametrize("query,kind", ROTOWIRE_QUERIES)
 def test_rotowire_end_to_end(rotowire_lake, query, kind):
-    result = QueryEngine(rotowire_lake).answer(query)
+    result = Session(rotowire_lake).query(query)
     assert result.ok, result.error
     assert result.kind == kind
     _assert_trace_shape(result)
@@ -54,14 +54,14 @@ def test_rotowire_end_to_end(rotowire_lake, query, kind):
 
 @pytest.mark.parametrize("query,kind", ARTWORK_QUERIES)
 def test_artwork_end_to_end(artwork_lake, query, kind):
-    result = QueryEngine(artwork_lake).answer(query)
+    result = Session(artwork_lake).query(query)
     assert result.ok, result.error
     assert result.kind == kind
     _assert_trace_shape(result)
 
 
 def test_value_answer_matches_ground_truth(rotowire_dataset, rotowire_lake):
-    result = QueryEngine(rotowire_lake).answer(
+    result = Session(rotowire_lake).query(
         "How many players are taller than 200?")
     expected = sum(1 for height in
                    rotowire_dataset.players.column("height_cm")
@@ -70,7 +70,7 @@ def test_value_answer_matches_ground_truth(rotowire_dataset, rotowire_lake):
 
 
 def test_text_answer_matches_ground_truth(rotowire_dataset, rotowire_lake):
-    result = QueryEngine(rotowire_lake).answer(
+    result = Session(rotowire_lake).query(
         "How many games did the Heat win?")
     expected = sum(1 for box in rotowire_dataset.box_scores
                    if box.winner == "Heat")
@@ -78,7 +78,7 @@ def test_text_answer_matches_ground_truth(rotowire_dataset, rotowire_lake):
 
 
 def test_plot_covers_all_paintings(artwork_lake):
-    result = QueryEngine(artwork_lake).answer(
+    result = Session(artwork_lake).query(
         "Plot the number of paintings for each century.")
     assert result.plot is not None
     assert result.plot.kind == "bar"
@@ -86,7 +86,7 @@ def test_plot_covers_all_paintings(artwork_lake):
 
 
 def test_table_answer_shape(artwork_lake):
-    result = QueryEngine(artwork_lake).answer(
+    result = Session(artwork_lake).query(
         "For each movement, how many paintings are there?")
     assert result.table is not None
     assert result.table.num_rows == 5  # one row per movement
@@ -94,7 +94,7 @@ def test_table_answer_shape(artwork_lake):
 
 
 def test_unparseable_query_returns_error_result(rotowire_lake):
-    result = QueryEngine(rotowire_lake).answer("please levitate the stadium")
+    result = Session(rotowire_lake).query("please levitate the stadium")
     assert not result.ok
     assert result.kind == "error"
     assert result.trace is not None and result.trace.crashed
@@ -123,8 +123,8 @@ class _OneBadPlanModel:
 
 
 def test_engine_recovers_via_replanning(rotowire_lake):
-    engine = QueryEngine(rotowire_lake, model=_OneBadPlanModel())
-    result = engine.answer("How many players are taller than 200?")
+    session = Session(rotowire_lake, brain=_OneBadPlanModel())
+    result = session.query("How many players are taller than 200?")
     assert result.ok, result.error
     assert result.trace.replans == 1
     assert result.trace.errors  # the failed attempt is on record
@@ -139,8 +139,8 @@ class _BrokenModel:
 
 
 def test_engine_surfaces_planning_failure(rotowire_lake):
-    engine = QueryEngine(rotowire_lake, model=_BrokenModel(),
-                         config=EngineConfig(use_discovery=False))
-    result = engine.answer("How many players are taller than 200?")
+    session = Session(rotowire_lake, brain=_BrokenModel(),
+                      config=EngineConfig(use_discovery=False))
+    result = session.query("How many players are taller than 200?")
     assert not result.ok
     assert "no brain today" in result.error

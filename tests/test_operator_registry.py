@@ -2,9 +2,14 @@
 
 import pytest
 
+from repro.core.interfaces import (PromptMapper, PromptPlanner,
+                                   RegistryExecutor)
 from repro.errors import OperatorError
-from repro.operators import (PlotOperator, SQLOperator, VisualQAOperator,
-                             build_operator, operator_names)
+from repro.operators import (ExecutionContext, OperatorCard, OperatorResult,
+                             PhysicalOperator, PlotOperator, SQLOperator,
+                             VisualQAOperator, build_operator,
+                             operator_names)
+from repro.operators.base import DEFAULT_REGISTRY, OperatorRegistry
 
 
 def test_registry_contains_all_six_operators():
@@ -51,3 +56,71 @@ def test_require_args_strips_whitespace():
     operator = PlotOperator()
     assert operator.require_args([" a ", "b", " c", "d "], 4) == \
         ["a", "b", "c", "d"]
+
+
+class _NoOpOperator(PhysicalOperator):
+    card = OperatorCard(
+        name="NoOp",
+        purpose="Do nothing (test operator).",
+        argument_format="()")
+
+    def run(self, context: ExecutionContext, args) -> OperatorResult:
+        return OperatorResult(observation="did nothing")
+
+
+def test_registry_copy_is_isolated_from_default():
+    registry = DEFAULT_REGISTRY.copy()
+    registry.register(_NoOpOperator)
+    assert "NoOp" in registry
+    assert "NoOp" not in DEFAULT_REGISTRY
+    assert isinstance(registry.build("noop"), _NoOpOperator)
+    # The new card is advertised to mapping prompts via the registry.
+    assert any(card.name == "NoOp" for card in registry.cards())
+    assert not any(card.name == "NoOp" for card in DEFAULT_REGISTRY.cards())
+
+
+def test_registry_register_with_explicit_card():
+    registry = OperatorRegistry()
+    alias = OperatorCard(name="Nothing", purpose="Alias card.",
+                         argument_format="()")
+    registry.register(_NoOpOperator, card=alias)
+    assert registry.names() == ["Nothing"]
+    assert isinstance(registry.build("Nothing"), _NoOpOperator)
+
+
+def test_registry_executor_uses_custom_registry():
+    registry = OperatorRegistry()
+    registry.register(_NoOpOperator)
+    executor = RegistryExecutor(registry)
+    assert [card.name for card in executor.cards()] == ["NoOp"]
+
+
+def test_engine_composes_pluggable_parts(rotowire_lake):
+    """A custom executor registry flows through Session to execution."""
+    from repro import Session
+    from repro.core.parsing import MappingDecision
+
+    registry = DEFAULT_REGISTRY.copy()
+    registry.register(_NoOpOperator)
+    executor = RegistryExecutor(registry)
+    execution = executor.execute(
+        MappingDecision(operator="NoOp", arguments=[]),
+        ExecutionContext(tables={}))
+    assert execution.operator == "NoOp"
+    assert execution.result.observation == "did nothing"
+
+    # The default prompt-driven planner/mapper still answer end-to-end
+    # when composed with the widened registry.
+    session = Session(rotowire_lake, executor=executor)
+    result = session.query("How many players are taller than 200?")
+    assert result.ok
+
+
+def test_default_roles_satisfy_protocols():
+    from repro import Executor, Mapper, Planner
+    from repro.llm.brain import SimulatedBrain
+
+    brain = SimulatedBrain()
+    assert isinstance(PromptPlanner(brain), Planner)
+    assert isinstance(PromptMapper(brain), Mapper)
+    assert isinstance(RegistryExecutor(), Executor)

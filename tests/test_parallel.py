@@ -4,20 +4,21 @@ import threading
 
 import pytest
 
-from repro.core.batch import BatchRunner, ParallelBatchRunner, PlanCache
+from repro import Session
+from repro.core.batch import PlanCache
 from repro.core.plan import LogicalPlan, LogicalStep
 from test_batch import BATCH
 
 
 def test_rejects_non_positive_workers(rotowire_lake):
     with pytest.raises(ValueError):
-        ParallelBatchRunner(rotowire_lake, workers=0)
+        Session(rotowire_lake).batch(BATCH[:1], workers=0)
 
 
 def test_parallel_results_match_serial(rotowire_lake):
-    serial = BatchRunner(rotowire_lake, cache_size=32).run(BATCH)
-    parallel = ParallelBatchRunner(rotowire_lake, cache_size=32,
-                                   workers=4).run(BATCH)
+    serial = Session(rotowire_lake, plan_cache_size=32).batch(BATCH)
+    parallel = Session(rotowire_lake, plan_cache_size=32).batch(BATCH,
+                                                                workers=4)
 
     assert parallel.num_queries == serial.num_queries
     assert parallel.num_errors == serial.num_errors == 0
@@ -33,8 +34,8 @@ def test_parallel_results_match_serial(rotowire_lake):
 
 
 def test_parallel_cache_accounting(rotowire_lake):
-    runner = ParallelBatchRunner(rotowire_lake, cache_size=32, workers=4)
-    report = runner.run(BATCH)
+    session = Session(rotowire_lake, plan_cache_size=32)
+    report = session.batch(BATCH, workers=4)
     assert report.workers == 4
     # 5 distinct queries; with concurrent workers a distinct query may be
     # planned more than once (two workers miss before one publishes), but
@@ -47,7 +48,7 @@ def test_parallel_cache_accounting(rotowire_lake):
 
 
 def test_parallel_report_clocks(rotowire_lake):
-    report = ParallelBatchRunner(rotowire_lake, workers=4).run(BATCH)
+    report = Session(rotowire_lake).batch(BATCH, workers=4)
     assert report.elapsed_seconds > 0.0
     assert report.wall_seconds > 0.0
     # Serial-equivalent seconds sum per-query totals and therefore cannot
@@ -59,7 +60,7 @@ def test_parallel_report_clocks(rotowire_lake):
 
 
 def test_serial_report_records_both_clocks(rotowire_lake):
-    report = BatchRunner(rotowire_lake).run(BATCH[:3])
+    report = Session(rotowire_lake).batch(BATCH[:3])
     assert report.elapsed_seconds > 0.0
     # With one worker the two clocks agree up to bookkeeping overhead.
     assert report.wall_seconds <= report.elapsed_seconds
@@ -67,9 +68,9 @@ def test_serial_report_records_both_clocks(rotowire_lake):
 
 
 def test_second_run_is_warm(rotowire_lake):
-    runner = ParallelBatchRunner(rotowire_lake, workers=2)
-    cold = runner.run(BATCH)
-    warm = runner.run(BATCH)
+    session = Session(rotowire_lake)
+    cold = session.batch(BATCH, workers=2)
+    warm = session.batch(BATCH, workers=2)
     # Per-run accounting: the warm report counts only its own lookups.
     assert warm.cache_hits == len(BATCH)
     assert warm.cache_misses == 0
@@ -78,7 +79,7 @@ def test_second_run_is_warm(rotowire_lake):
 
 
 def test_parallel_render_mentions_workers(rotowire_lake):
-    report = ParallelBatchRunner(rotowire_lake, workers=2).run(BATCH[:3])
+    report = Session(rotowire_lake).batch(BATCH[:3], workers=2)
     text = report.render()
     assert "2 worker(s)" in text
     assert "serial-equivalent" in text
@@ -86,7 +87,7 @@ def test_parallel_render_mentions_workers(rotowire_lake):
 
 
 def test_report_to_dict_shape(rotowire_lake):
-    report = ParallelBatchRunner(rotowire_lake, workers=2).run(BATCH[:3])
+    report = Session(rotowire_lake).batch(BATCH[:3], workers=2)
     record = report.to_dict()
     assert record["queries"] == 3
     assert record["workers"] == 2

@@ -1,0 +1,167 @@
+"""Lossless JSON round-trips for the plan IR, results, and reports.
+
+Every ``to_dict()`` must survive an actual ``json.dumps``/``loads`` cycle
+(not just a dict copy) and reconstruct an *equal* object — tables, traces,
+timings, plot specs, dates, and rendered images included.
+"""
+
+import datetime
+import json
+
+import numpy as np
+
+from repro import Session
+from repro.core.batch import BatchReport
+from repro.core.plan import (ErrorEvent, LogicalPlan, LogicalStep,
+                             Observation, PhysicalStep, PlanTrace,
+                             QueryResult)
+from repro.data.datatypes import DataType
+from repro.data.table import Table
+from repro.plotting.spec import PlotSpec
+from repro.vision.image import Image
+
+
+def roundtrip(obj):
+    """Encode → JSON text → decode with the object's own from_dict."""
+    data = json.loads(json.dumps(obj.to_dict()))
+    return type(obj).from_dict(data)
+
+
+def test_logical_plan_roundtrip():
+    plan = LogicalPlan(
+        steps=[LogicalStep(1, "Filter the players table.",
+                           inputs=["players"], output="tall_players",
+                           new_columns=[]),
+               LogicalStep(2, "Count the rows.", inputs=["tall_players"],
+                           output="result", new_columns=["count"])],
+        thought="filter then aggregate")
+    assert roundtrip(plan) == plan
+
+
+def test_trace_pieces_roundtrip():
+    step = LogicalStep(1, "do it", inputs=["t"], output="out")
+    physical = PhysicalStep(logical=step, operator="SQL",
+                            arguments=["SELECT 1"], reasoning="trivial")
+    observation = Observation(1, "produced 1 row")
+    event = ErrorEvent("mapping", 1, "boom", recovered=True)
+    assert roundtrip(physical) == physical
+    assert roundtrip(observation) == observation
+    assert roundtrip(event) == event
+    trace = PlanTrace(query="q", logical_plan=LogicalPlan(steps=[step]),
+                      physical_steps=[physical], observations=[observation],
+                      errors=[event], replans=1,
+                      timings={"total": 0.25, "planning": 0.1},
+                      plan_cache_hit=True)
+    assert roundtrip(trace) == trace
+
+
+def test_table_roundtrip_with_dates_and_nulls():
+    table = Table.infer({
+        "name": ["a", "b", None],
+        "height": [200, None, 190],
+        "share": [0.25, 0.5, 0.125],
+        "active": [True, False, None],
+        "born": [datetime.date(1990, 1, 2), None,
+                 datetime.date(2000, 12, 31)],
+    })
+    restored = roundtrip(table)
+    assert restored == table
+    assert restored.dtype("born") is DataType.DATE
+    assert restored.column("born")[0] == datetime.date(1990, 1, 2)
+    assert type(restored.column("born")[0]) is datetime.date
+
+
+def test_table_roundtrip_with_image_column():
+    pixels = np.arange(4 * 3 * 3, dtype=np.uint8).reshape((4, 3, 3))
+    image = Image(pixels, path="img/x.png")
+    table = Table.infer(
+        {"title": ["x"], "image": [image]},
+        modality_types={"image": DataType.IMAGE})
+    restored = roundtrip(table)
+    assert restored == table
+    restored_image = restored.column("image")[0]
+    assert isinstance(restored_image, Image)
+    assert restored_image.fingerprint() == image.fingerprint()
+
+
+def test_plot_spec_roundtrip():
+    spec = PlotSpec(kind="bar", x_label="century", y_label="count",
+                    x_values=[15, 16, 17], y_values=[9, 12, 30],
+                    title="paintings per century")
+    assert roundtrip(spec) == spec
+
+
+def test_query_result_value_roundtrip(rotowire_lake):
+    result = Session(rotowire_lake).query(
+        "How many players are taller than 200?")
+    assert result.ok and result.kind == "value"
+    restored = roundtrip(result)
+    assert restored == result
+    assert restored.value == result.value
+    assert restored.trace.timings == result.trace.timings
+    assert restored.trace.operators_used() == result.trace.operators_used()
+
+
+def test_query_result_table_roundtrip(artwork_lake):
+    result = Session(artwork_lake).query(
+        "For each movement, how many paintings are there?")
+    assert result.ok and result.kind == "table"
+    restored = roundtrip(result)
+    assert restored == result
+    assert restored.table == result.table
+
+
+def test_query_result_plot_roundtrip(artwork_lake):
+    result = Session(artwork_lake).query(
+        "Plot the number of paintings for each century.")
+    assert result.ok and result.kind == "plot"
+    restored = roundtrip(result)
+    assert restored == result
+    assert restored.plot.signature() == result.plot.signature()
+    assert restored.plot.series() == result.plot.series()
+
+
+def test_query_result_date_value_roundtrip(artwork_lake):
+    result = Session(artwork_lake).query(
+        "What is the earliest inception date of all paintings?")
+    assert result.ok and result.kind == "value"
+    restored = roundtrip(result)
+    assert restored == result
+    assert restored.value == result.value
+
+
+def test_query_result_error_roundtrip(rotowire_lake):
+    result = Session(rotowire_lake).query("please levitate the stadium")
+    assert not result.ok
+    restored = roundtrip(result)
+    assert restored == result
+    assert restored.error == result.error
+    assert restored.trace.crashed
+
+
+def test_batch_report_roundtrip(rotowire_lake):
+    report = Session(rotowire_lake).batch(
+        ["How many players are taller than 200?",
+         "Plot the average height of players per position.",
+         "How many players are taller than 200?"], workers=2)
+    data = json.loads(json.dumps(report.to_dict(include_results=True)))
+    restored = BatchReport.from_dict(data)
+    assert restored == report
+
+
+def test_batch_report_compact_dict_is_not_lossless(rotowire_lake):
+    report = Session(rotowire_lake).batch(
+        ["How many players are taller than 200?"])
+    compact = report.to_dict()
+    assert "results" not in compact
+    try:
+        BatchReport.from_dict(compact)
+    except ValueError as exc:
+        assert "include_results" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("compact record must be rejected")
+
+
+def test_query_result_without_trace_roundtrip():
+    result = QueryResult(kind="value", value=7)
+    assert roundtrip(result) == result

@@ -1,0 +1,129 @@
+"""Tests for the Session facade and the pluggable engine roles."""
+
+import pytest
+
+import repro
+from repro import EngineConfig, Session
+from repro.core.interfaces import RegistryExecutor, StepExecution
+from repro.llm.brain import SimulatedBrain
+from repro.operators.base import DEFAULT_REGISTRY
+
+QUERY = "How many players are taller than 200?"
+BATCH = [QUERY, "Who is the tallest player?", QUERY,
+         "Plot the average height of players per position."]
+
+
+def test_session_loads_lake_by_name():
+    session = Session("rotowire")
+    result = session.query(QUERY)
+    assert result.ok and result.kind == "value"
+
+
+def test_session_query_and_batch_share_caches(rotowire_lake):
+    session = Session(rotowire_lake)
+    first = session.query(QUERY)
+    assert first.ok and not first.trace.plan_cache_hit
+    second = session.query(QUERY)
+    assert second.ok and second.trace.plan_cache_hit
+    # .batch rides the same plan cache.
+    report = session.batch([QUERY, QUERY])
+    assert report.cache_hits == 2 and report.cache_misses == 0
+
+
+def test_session_batch_parallel_matches_serial(rotowire_lake):
+    serial = Session(rotowire_lake).batch(BATCH)
+    parallel = Session(rotowire_lake).batch(BATCH, workers=3)
+    assert serial.num_errors == parallel.num_errors == 0
+    for mine, theirs in zip(parallel.results, serial.results):
+        assert mine.describe() == theirs.describe()
+
+
+def test_session_engine_pool_is_reused(rotowire_lake):
+    session = Session(rotowire_lake)
+    session.batch(BATCH, workers=2)
+    engines_after_two = list(session._engines)
+    assert len(engines_after_two) == 2
+    session.batch(BATCH, workers=2)
+    assert session._engines == engines_after_two  # no new engines
+    session.batch(BATCH[:1], workers=4)
+    assert session._engines[:2] == engines_after_two  # pool only grows
+
+
+def test_session_config_and_brain_are_honoured(rotowire_lake):
+    session = Session(rotowire_lake, brain=SimulatedBrain(),
+                      config=EngineConfig(use_discovery=False))
+    result = session.query(QUERY)
+    assert result.ok
+    assert result.trace.timings.get("discovery", 0.0) == 0.0
+    assert "discovery" not in session.last_transcript.labels()
+
+
+def test_session_last_transcript_records_phases(rotowire_lake):
+    session = Session(rotowire_lake)
+    session.query(QUERY)
+    labels = session.last_transcript.labels()
+    assert "discovery" in labels
+    assert "planning" in labels
+    assert any(label.startswith("mapping:") for label in labels)
+
+
+def test_session_rejects_non_positive_workers(rotowire_lake):
+    with pytest.raises(ValueError):
+        Session(rotowire_lake).batch(BATCH, workers=0)
+
+
+class _SpyExecutor(RegistryExecutor):
+    """Counts executions — a stand-in for a custom execution backend."""
+
+    def __init__(self):
+        super().__init__(DEFAULT_REGISTRY.copy())
+        self.executed: list[str] = []
+
+    def execute(self, decision, context) -> StepExecution:
+        execution = super().execute(decision, context)
+        self.executed.append(execution.operator)
+        return execution
+
+
+def test_session_accepts_custom_executor(rotowire_lake):
+    executor = _SpyExecutor()
+    session = Session(rotowire_lake, executor=executor)
+    result = session.query(QUERY)
+    assert result.ok
+    assert executor.executed == result.trace.operators_used()
+
+
+def test_session_bench_runs_over_own_lake(rotowire_lake):
+    record = Session(rotowire_lake).bench(workers=(1,), repeats=1)
+    assert record["dataset"] == "rotowire"
+    assert record["scale"] is None  # the lake was provided, not generated
+    assert [run["workers"] for run in record["runs"]] == [1]
+    for run in record["runs"]:
+        assert run["cold"]["errors"] == 0
+        assert run["warm"]["plan_cache"]["hit_rate"] == 1.0
+
+
+def test_public_surface_exports():
+    for name in ("Session", "EngineConfig", "load_lake", "QueryResult",
+                 "PlanTrace", "BatchReport", "PlanCache", "Table",
+                 "PlotSpec", "Planner", "Mapper", "Executor"):
+        assert hasattr(repro, name), name
+    assert isinstance(repro.__version__, str) and repro.__version__
+
+
+def test_session_bench_uses_session_stack(rotowire_lake):
+    executor = _SpyExecutor()
+    session = Session(rotowire_lake, executor=executor)
+    record = session.bench(workers=(1,), repeats=1)
+    # The benchmark's child sessions ran through the session's executor.
+    assert executor.executed
+    assert record["llm_latency_ms"] is None  # session brain, no override
+
+
+def test_session_bench_rejects_latency_with_custom_planner(rotowire_lake):
+    from repro.core.interfaces import PromptPlanner
+
+    session = Session(rotowire_lake,
+                      planner=PromptPlanner(SimulatedBrain()))
+    with pytest.raises(ValueError):
+        session.bench(workers=(1,), repeats=1, llm_latency_ms=10)
