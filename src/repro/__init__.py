@@ -27,7 +27,9 @@ from repro.core.plan import (ErrorEvent, LogicalPlan, LogicalStep,
                              QueryResult)
 from repro.data.catalog import DataLake
 from repro.data.table import Table
-from repro.datasets import DATASET_NAMES, load_lake
+from repro.datasets import DATASET_NAMES, LakeSpec, load_lake
+from repro.exec import (ExecutionBackend, ProcessBackend, SerialBackend,
+                        ThreadBackend, backend_names)
 from repro.plotting.spec import PlotSpec
 from repro.session import Session
 
@@ -39,7 +41,9 @@ __all__ = [
     "Engine",
     "EngineConfig",
     "ErrorEvent",
+    "ExecutionBackend",
     "Executor",
+    "LakeSpec",
     "LogicalPlan",
     "LogicalStep",
     "Mapper",
@@ -49,13 +53,17 @@ __all__ = [
     "PlanTrace",
     "Planner",
     "PlotSpec",
+    "ProcessBackend",
     "PromptMapper",
     "PromptPlanner",
     "QueryResult",
     "QueryStats",
     "RegistryExecutor",
+    "SerialBackend",
     "Session",
     "Table",
+    "ThreadBackend",
     "__version__",
+    "backend_names",
     "load_lake",
 ]

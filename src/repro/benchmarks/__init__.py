@@ -7,7 +7,8 @@ machine-readable throughput record CI uploads on every run.
 """
 
 from repro.benchmarks.harness import BenchConfig, main, run_benchmark
-from repro.benchmarks.workloads import WORKLOADS, workload
+from repro.benchmarks.workloads import (WORKLOADS, workload,
+                                        workload_datasets)
 
 __all__ = [
     "BenchConfig",
@@ -15,4 +16,5 @@ __all__ = [
     "main",
     "run_benchmark",
     "workload",
+    "workload_datasets",
 ]

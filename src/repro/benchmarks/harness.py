@@ -1,9 +1,11 @@
 """The ``repro bench`` harness.
 
 Runs a dataset's fixed workload (:mod:`repro.benchmarks.workloads`) through
-a :class:`~repro.session.Session` at several worker counts.  Every worker
-count gets a fresh session (fresh caches) and two passes over the
-workload:
+a :class:`~repro.session.Session` at several worker counts, for one or
+more execution backends (``--backend thread,process`` measures the
+thread pool against the GIL-free process lanes on the same workload).
+Every ``(backend, workers)`` point gets a fresh session (fresh caches,
+fresh worker pool) and two passes over the workload:
 
 - a **cold** pass that populates the plan cache and the answer cache, and
 - a **warm** pass on the now-hot caches — the steady-state a long-running
@@ -25,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -32,14 +35,16 @@ from pathlib import Path
 from typing import Callable
 
 from repro.benchmarks.workloads import workload
-from repro.cliargs import positive_float, positive_int
+from repro.cliargs import backend_list, positive_float, positive_int
 from repro.core.batch import BatchReport
 from repro.data.catalog import DataLake
 from repro.datasets import DATASET_NAMES, load_lake
+from repro.exec import backend_names
 from repro.llm.brain import SimulatedBrain
 from repro.session import Session
 
 DEFAULT_WORKERS = (1, 2, 4)
+DEFAULT_BACKENDS = ("thread",)
 DEFAULT_SCALE = 10.0
 DEFAULT_LLM_LATENCY_MS = 10.0
 DEFAULT_OUTPUT = "BENCH_parallel.json"
@@ -53,6 +58,10 @@ class BenchConfig:
     scale: float = DEFAULT_SCALE
     seed: int | None = None
     workers: tuple[int, ...] = DEFAULT_WORKERS
+    #: execution backends to measure; each gets its own scaling curve
+    #: over ``workers`` (fresh session — and for "process", a fresh
+    #: worker-lane pool — per point).
+    backends: tuple[str, ...] = DEFAULT_BACKENDS
     repeats: int = 3
     #: ``None`` means "no latency override" — only meaningful together
     #: with a *session_factory* whose brain sets its own pace (see
@@ -68,6 +77,13 @@ class BenchConfig:
         if any(w <= 0 for w in self.workers):
             raise ValueError(f"worker counts must be positive: "
                              f"{self.workers}")
+        if not self.backends:
+            raise ValueError("at least one backend is required")
+        unknown = [b for b in self.backends if b not in backend_names()]
+        if unknown:
+            raise ValueError(
+                f"unknown backends {unknown}; available: "
+                f"{', '.join(backend_names())}")
         if self.repeats <= 0:
             raise ValueError(f"repeats must be positive, got {self.repeats}")
         if self.scale <= 0:
@@ -127,39 +143,54 @@ def run_benchmark(config: BenchConfig, lake: DataLake | None = None,
                 plan_cache_size=config.plan_cache_size)
 
     runs = []
-    warm_reports: dict[int, BatchReport] = {}
-    for workers in config.workers:
-        session = session_factory()
-        cold = session.batch(queries, workers=workers)
-        warm = session.batch(queries, workers=workers)
-        warm_reports[workers] = warm
-        runs.append({"workers": workers,
-                     "cold": cold.to_dict(),
-                     "warm": warm.to_dict()})
-        _say(config,
-             f"workers={workers}: cold {cold.queries_per_second:6.1f} q/s, "
-             f"warm {warm.queries_per_second:6.1f} q/s "
-             f"(plan hit {warm.cache_hit_rate:.0%}, "
-             f"answer hit {warm.answer_hit_rate:.0%}, "
-             f"{warm.num_errors} errors)")
+    warm_reports: dict[tuple[str, int], BatchReport] = {}
+    for backend in config.backends:
+        for workers in config.workers:
+            session = session_factory()
+            try:
+                cold = session.batch(queries, workers=workers,
+                                     backend=backend)
+                warm = session.batch(queries, workers=workers,
+                                     backend=backend)
+            finally:
+                # Shut worker lanes down between points so one curve's
+                # processes never sit on cores while the next measures.
+                session.close()
+            warm_reports[(backend, workers)] = warm
+            runs.append({"backend": backend,
+                         "workers": workers,
+                         "cold": cold.to_dict(),
+                         "warm": warm.to_dict()})
+            _say(config,
+                 f"{backend:>7s} x{workers}: "
+                 f"cold {cold.queries_per_second:6.1f} q/s, "
+                 f"warm {warm.queries_per_second:6.1f} q/s "
+                 f"(plan hit {warm.cache_hit_rate:.0%}, "
+                 f"answer hit {warm.answer_hit_rate:.0%}, "
+                 f"{warm.num_errors} errors)")
 
-    speedups: dict[str, float] = {}
-    baseline = warm_reports.get(1)
-    if baseline is not None and baseline.queries_per_second > 0:
-        for workers, report in sorted(warm_reports.items()):
+    speedups: dict[str, dict[str, float]] = {}
+    for backend in config.backends:
+        baseline = warm_reports.get((backend, 1))
+        if baseline is None or baseline.queries_per_second <= 0:
+            _say(config, f"no 1-worker run for backend {backend}; "
+                         "warm speedups vs 1 worker omitted")
+            continue
+        curve: dict[str, float] = {}
+        for workers in sorted(config.workers):
+            report = warm_reports[(backend, workers)]
             ratio = report.queries_per_second / baseline.queries_per_second
-            speedups[str(workers)] = round(ratio, 3)
+            curve[str(workers)] = round(ratio, 3)
             if workers != 1:
-                _say(config, f"warm speedup at {workers} workers: "
+                _say(config, f"{backend} warm speedup at {workers} workers: "
                              f"{ratio:.2f}x vs 1 worker")
-    else:
-        _say(config, "no 1-worker run in --workers; "
-                     "warm speedups vs 1 worker omitted")
+        speedups[backend] = curve
 
     record = {
         "benchmark": "parallel_batch",
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
         "dataset": config.dataset,
         "scale": None if provided_lake else config.scale,
         "seed": None if provided_lake else config.seed,
@@ -170,6 +201,7 @@ def run_benchmark(config: BenchConfig, lake: DataLake | None = None,
         "unique_queries": len(set(queries)),
         "repeats": config.repeats,
         "llm_latency_ms": config.llm_latency_ms,
+        "backends": list(config.backends),
         "runs": runs,
         "warm_speedup_vs_1_worker": speedups,
     }
@@ -199,6 +231,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
                             str(w) for w in DEFAULT_WORKERS),
                         help="comma-separated worker counts "
                              "(default: 1,2,4)")
+    parser.add_argument("--backend", type=backend_list,
+                        default=DEFAULT_BACKENDS, metavar="NAMES",
+                        help="comma-separated execution backends to "
+                             "measure, each with its own scaling curve "
+                             f"({', '.join(backend_names())}; "
+                             "default: thread)")
     parser.add_argument("--repeats", type=positive_int, default=3,
                         help="workload repetitions per run (default: 3)")
     parser.add_argument("--llm-latency-ms", type=float,
@@ -230,6 +268,7 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.scale,
         seed=args.seed,
         workers=_parse_workers(args.workers),
+        backends=tuple(args.backend),
         repeats=args.repeats,
         llm_latency_ms=args.llm_latency_ms,
         output=args.output,

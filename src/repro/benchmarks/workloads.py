@@ -32,6 +32,15 @@ WORKLOADS: dict[str, tuple[str, ...]] = {
 }
 
 
+def workload_datasets() -> tuple[str, ...]:
+    """Datasets that have a fixed benchmark workload, sorted.
+
+    The cross-backend parity suite iterates this: every backend must
+    produce identical results for every full workload listed here.
+    """
+    return tuple(sorted(WORKLOADS))
+
+
 def workload(dataset: str, repeats: int = 1) -> list[str]:
     """The fixed workload of *dataset*, repeated *repeats* times."""
     if dataset not in WORKLOADS:

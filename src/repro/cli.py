@@ -25,10 +25,11 @@ import sys
 import warnings
 from pathlib import Path
 
-from repro.cliargs import positive_float, positive_int
+from repro.cliargs import backend_name, positive_float, positive_int
 from repro.core.engine import EngineConfig
 from repro.core.plan import QueryResult
 from repro.datasets import DATASET_NAMES, load_lake
+from repro.exec import backend_names
 from repro.plotting.ascii import render_plot
 from repro.session import Session
 
@@ -47,6 +48,10 @@ def _add_lake_arguments(parser: argparse.ArgumentParser) -> None:
                         help="JSON file the plan cache is loaded from (if "
                              "present) before the run and saved to after "
                              "it, so plans survive across runs")
+    parser.add_argument("--answer-cache-file", metavar="PATH", default=None,
+                        help="JSON file the answer cache is loaded from (if "
+                             "present) before the run and saved to after "
+                             "it, so warm modality answers survive restarts")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,8 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="LRU plan-cache capacity (default: 128, or "
                             "the capacity persisted in --plan-cache-file)")
     batch.add_argument("--workers", type=positive_int, default=1,
-                       help="worker threads; >1 drains the batch through "
-                            "a thread pool (default: 1)")
+                       help="worker count for the thread/process backends "
+                            "(default: 1)")
+    batch.add_argument("--backend", type=backend_name, default=None,
+                       metavar="{" + ",".join(backend_names()) + "}",
+                       help="execution backend (default: serial at "
+                            "--workers 1, thread above; process runs "
+                            "GIL-free worker processes)")
 
     subparsers.add_parser(
         "bench", add_help=False,
@@ -151,12 +161,19 @@ def _build_session(args: argparse.Namespace,
         # the file; otherwise the file's own capacity is kept, so a
         # flag-less run never truncates a larger persisted cache.
         session.load_plan_cache(args.plan_cache_file, capacity=cache_size)
+    answer_cache_file = getattr(args, "answer_cache_file", None)
+    if answer_cache_file and Path(answer_cache_file).exists():
+        session.load_answer_cache(answer_cache_file)
     return session
 
 
 def _finish(session: Session, args: argparse.Namespace) -> None:
     if args.plan_cache_file:
         session.save_plan_cache(args.plan_cache_file)
+    answer_cache_file = getattr(args, "answer_cache_file", None)
+    if answer_cache_file:
+        session.save_answer_cache(answer_cache_file)
+    session.close()
 
 
 def _run_query(args: argparse.Namespace) -> int:
@@ -177,7 +194,8 @@ def _run_batch(args: argparse.Namespace, path: str) -> int:
         print(f"no queries found in {path}", file=sys.stderr)
         return 2
     session = _build_session(args, cache_size=args.cache_size)
-    report = session.batch(queries, workers=args.workers)
+    report = session.batch(queries, workers=args.workers,
+                           backend=getattr(args, "backend", None))
     print(report.render())
     _finish(session, args)
     return 0 if report.num_errors == 0 else 1

@@ -19,3 +19,23 @@ def positive_float(text: str) -> float:
         raise argparse.ArgumentTypeError(
             f"must be a positive number, got {text!r}")
     return value
+
+
+def backend_name(text: str) -> str:
+    """One registered execution-backend name (``repro.exec``)."""
+    from repro.exec import backend_names
+    if text not in backend_names():
+        raise argparse.ArgumentTypeError(
+            f"unknown backend {text!r}; available: "
+            f"{', '.join(backend_names())}")
+    return text
+
+
+def backend_list(text: str) -> tuple[str, ...]:
+    """Comma-separated execution-backend names, each validated."""
+    names = tuple(backend_name(part.strip())
+                  for part in text.split(",") if part.strip())
+    if not names:
+        raise argparse.ArgumentTypeError(
+            f"no backend names in {text!r}")
+    return names

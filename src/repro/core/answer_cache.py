@@ -32,8 +32,12 @@ engines.
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 from collections import OrderedDict
+from pathlib import Path
+
+from repro.data.datatypes import decode_scalar, encode_scalar
 
 #: Sentinel returned by :meth:`AnswerCache.get` for absent keys (``None`` is
 #: a legitimate cached answer).
@@ -41,6 +45,9 @@ MISS = object()
 
 #: ``(object fingerprint, question, answer type)``
 AnswerKey = tuple[str, str, str]
+
+#: Format marker written into persisted answer-cache files.
+ANSWER_CACHE_FORMAT = "repro-answer-cache/v1"
 
 
 def text_fingerprint(document: str) -> str:
@@ -122,3 +129,61 @@ class AnswerCache:
         """A consistent ``(hits, misses, evictions)`` triple."""
         with self._lock:
             return self._hits, self._misses, self._evictions
+
+    def items(self) -> list[tuple[AnswerKey, object]]:
+        """A consistent snapshot of ``(key, answer)`` pairs in LRU order.
+
+        Used by the process backend to ship warm answers to worker
+        initializers, mirroring ``PlanCache.items()``.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
+    # ------------------------------------------------------------------
+    # Persistence (mirrors PlanCache.save/load)
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Persist every cached answer to *path* as JSON.
+
+        Entries are written in LRU order (least-recent first), so a
+        :meth:`load` restores both the answers and the eviction order.
+        Answers are encoded with :func:`~repro.data.datatypes.
+        encode_scalar`, so dates and ``None`` ("the text does not say")
+        survive the round trip.  Returns the number of entries written.
+        """
+        with self._lock:
+            entries = [
+                {"fingerprint": fingerprint, "question": question,
+                 "answer_type": answer_type, "answer": encode_scalar(answer)}
+                for (fingerprint, question, answer_type), answer
+                in self._entries.items()
+            ]
+        payload = {"format": ANSWER_CACHE_FORMAT, "capacity": self.capacity,
+                   "entries": entries}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+        return len(entries)
+
+    @classmethod
+    def load(cls, path: str | Path,
+             capacity: int | None = None) -> "AnswerCache":
+        """Rehydrate a cache persisted with :meth:`save`.
+
+        *capacity* overrides the persisted capacity; counters start at
+        zero (a loaded cache has served nothing yet).  Excess entries (a
+        file saved from a larger cache) are dropped oldest-first.
+        """
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("format") != ANSWER_CACHE_FORMAT:
+            raise ValueError(
+                f"{path} is not an answer-cache file "
+                f"(format={payload.get('format')!r})")
+        cache = cls(capacity if capacity is not None
+                    else payload.get("capacity", 65536))
+        entries = payload.get("entries", [])[-cache.capacity:]
+        for entry in entries:
+            key = (entry["fingerprint"], entry["question"],
+                   entry["answer_type"])
+            cache._entries[key] = decode_scalar(entry["answer"])
+        return cache

@@ -129,6 +129,16 @@ class PlanCache:
         with self._lock:
             return self._hits, self._misses, self._evictions
 
+    def items(self) -> list[tuple[tuple[str, str], LogicalPlan]]:
+        """A consistent snapshot of ``(key, plan)`` pairs in LRU order.
+
+        Used by the process backend to ship warm plans to worker
+        initializers; the plans themselves are never mutated, so sharing
+        the objects is safe.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
@@ -219,6 +229,9 @@ class BatchReport:
     wall_seconds: float = 0.0
     elapsed_seconds: float = 0.0
     workers: int = 1
+    #: name of the execution backend that produced this report
+    #: (see :mod:`repro.exec`).
+    backend: str = "serial"
 
     @property
     def num_queries(self) -> int:
@@ -272,6 +285,7 @@ class BatchReport:
             "ok": self.num_ok,
             "errors": self.num_errors,
             "workers": self.workers,
+            "backend": self.backend,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
             "serial_seconds": round(self.wall_seconds, 6),
             "queries_per_second": round(self.queries_per_second, 3),
@@ -302,6 +316,27 @@ class BatchReport:
             record["results"] = [result.to_dict() for result in self.results]
         return record
 
+    def canonical_results(self) -> list[dict]:
+        """Result payloads normalized for cross-backend comparison.
+
+        Serial, thread, and process backends must produce identical
+        results for the same workload; the only legitimately divergent
+        fields are wall-clock timings and the plan-cache locality flag
+        (a thread race or a worker-local cache can turn a hit into a miss
+        without changing the answer).  This returns each result's
+        ``to_dict()`` with those two fields blanked, so two reports agree
+        iff ``json.dumps`` of their canonical results is byte-identical.
+        """
+        payloads = []
+        for result in self.results:
+            data = result.to_dict()
+            trace = data.get("trace")
+            if trace is not None:
+                trace["timings"] = {}
+                trace["plan_cache_hit"] = False
+            payloads.append(data)
+        return payloads
+
     @classmethod
     def from_dict(cls, data: dict) -> "BatchReport":
         """Inverse of ``to_dict(include_results=True)``."""
@@ -324,14 +359,16 @@ class BatchReport:
             answer_evictions=data["answer_cache"]["evictions"],
             wall_seconds=exact["wall_seconds"],
             elapsed_seconds=exact["elapsed_seconds"],
-            workers=data["workers"])
+            workers=data["workers"],
+            backend=data.get("backend", "serial"))
 
     def render(self) -> str:
         """Plain-text report for the CLI."""
         lines = [
             f"batch: {self.num_queries} queries "
             f"({self.num_ok} ok, {self.num_errors} errors), "
-            f"{self.total_steps} physical steps, {self.workers} worker(s)",
+            f"{self.total_steps} physical steps, {self.workers} worker(s), "
+            f"{self.backend} backend",
             f"wall clock: {self.elapsed_seconds:.3f}s elapsed "
             f"({self.queries_per_second:.1f} queries/s), "
             f"{self.wall_seconds:.3f}s serial-equivalent "
@@ -411,7 +448,8 @@ def execute_batch(engines: Sequence[Engine],
     if not engines:
         raise ValueError("execute_batch needs at least one engine")
     workload = list(queries)
-    report = BatchReport(workers=len(engines))
+    report = BatchReport(workers=len(engines),
+                         backend="serial" if len(engines) == 1 else "thread")
     plan_before = plan_cache.snapshot()
     answer_before = answer_cache.snapshot()
 

@@ -51,6 +51,7 @@ from repro.llm.brain import SimulatedBrain
 from repro.llm.interface import LanguageModel, Transcript
 from repro.operators.base import ExecutionContext
 from repro.plotting.spec import PlotSpec
+from repro.relational.sqlexec import SQLBridge
 
 
 @dataclass
@@ -105,6 +106,10 @@ class Engine:
         #: modality operators memoize (object, question) answers.  Shared
         #: across engines by the batch layer.
         self.answer_cache = answer_cache
+        #: engine-lifetime sqlite bridge: tables are registered into sqlite
+        #: once per content fingerprint instead of once per SQL step (the
+        #: registration copy dominated warm batches on 10k-row lakes).
+        self.sql_bridge = SQLBridge()
         self.last_transcript = Transcript()
 
     # ------------------------------------------------------------------
@@ -208,7 +213,8 @@ class Engine:
         context = ExecutionContext(
             tables={name: self.lake.table(name)
                     for name in self.lake.source_names},
-            answer_cache=self.answer_cache)
+            answer_cache=self.answer_cache,
+            sql_bridge=self.sql_bridge)
         cards = self.executor.cards()
         observations: list[str] = []
         last_table: Table | None = None

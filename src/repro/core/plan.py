@@ -143,14 +143,29 @@ class Observation:
         return cls(step_index=data["step_index"], text=data["text"])
 
 
+#: Phases an :class:`ErrorEvent` can record.  The first three are the
+#: engine's own loop phases; ``"worker"`` events are recorded by the
+#: process execution backend (:mod:`repro.exec.process`) when a worker
+#: process crashes, its pool breaks, or a query times out — ``recovered``
+#: then means the query was successfully re-run in the parent process.
+ERROR_PHASES = ("planning", "mapping", "execution", "worker")
+
+
 @dataclass
 class ErrorEvent:
-    """One error encountered during planning/mapping/execution."""
+    """One error encountered while answering a query (see ERROR_PHASES)."""
 
-    phase: str          # "planning" | "mapping" | "execution"
+    phase: str          # one of ERROR_PHASES
     step_index: int | None
     message: str
     recovered: bool = False
+
+    @classmethod
+    def worker_failure(cls, message: str,
+                       recovered: bool = False) -> "ErrorEvent":
+        """A worker-crash/timeout event (process backend trace entry)."""
+        return cls(phase="worker", step_index=None, message=message,
+                   recovered=recovered)
 
     def to_dict(self) -> dict:
         return {"phase": self.phase, "step_index": self.step_index,

@@ -57,6 +57,12 @@ class DataLake:
 
     name: str = "lake"
     sources: dict[str, DataSource] = field(default_factory=dict)
+    #: optional :class:`repro.datasets.LakeSpec` describing how to
+    #: regenerate this lake deterministically (set by
+    #: :func:`repro.datasets.load_lake`).  The process execution backend
+    #: ships this spec to worker processes instead of the lake itself, so
+    #: tables and images never cross the pipe.
+    spec: object | None = field(default=None, compare=False, repr=False)
 
     def add(self, source: DataSource) -> "DataLake":
         self.sources[source.name] = source
@@ -109,4 +115,23 @@ class DataLake:
             source = self.sources[name]
             digest.update(source.prompt_repr().encode("utf-8"))
             digest.update(source.kind.value.encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    def content_fingerprint(self) -> str:
+        """Digest of the lake's shape *and* every cell value.
+
+        :meth:`fingerprint` is deliberately shape-only (two seeds of the
+        same dataset share plans), so it cannot tell two same-shaped
+        lakes apart.  The process execution backend needs exactly that
+        distinction — a worker must never serve answers about a
+        same-shaped-but-different lake — so it verifies this digest,
+        which folds in each table's content hash
+        (:meth:`repro.data.table.Table.fingerprint`, memoized per
+        table).
+        """
+        digest = hashlib.sha256()
+        digest.update(self.fingerprint().encode("ascii"))
+        for name in sorted(self.sources):
+            digest.update(self.sources[name].table.fingerprint()
+                          .encode("ascii"))
         return digest.hexdigest()[:16]

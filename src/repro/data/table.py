@@ -11,6 +11,7 @@ operators in :mod:`repro.operators` consume and produce ``Table`` values.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.data.datatypes import (DataType, coerce, decode_scalar,
@@ -36,6 +37,7 @@ class Table:
         self._columns: dict[str, list[object]] = {
             spec.name: list(columns[spec.name]) for spec in schema.columns
         }
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -250,6 +252,37 @@ class Table:
         if self.num_rows > max_rows:
             lines.append(f"... ({self.num_rows} rows total)")
         return "\n".join(lines)
+
+    def fingerprint(self) -> str:
+        """Content digest of the schema and every cell value.
+
+        Computed lazily, then memoized — the table is immutable by
+        convention (every mutation helper returns a new ``Table``), so the
+        digest is stable for the object's lifetime.  IMAGE cells hash via
+        :meth:`repro.vision.image.Image.fingerprint` (itself memoized);
+        everything else hashes by ``repr``.  The sqlite bridge keys its
+        registration memo on this digest, so a table is only copied into
+        sqlite again when its content actually changed.
+        """
+        if self._fingerprint is None:
+            from repro.vision.image import Image
+            digest = hashlib.sha256()
+            for spec in self.schema.columns:
+                digest.update(f"{spec.name}:{spec.dtype.value}\n"
+                              .encode("utf-8"))
+            for spec in self.schema.columns:
+                values = self._columns[spec.name]
+                if spec.dtype is DataType.IMAGE:
+                    parts = (value.fingerprint() if isinstance(value, Image)
+                             else repr(value) for value in values)
+                else:
+                    parts = (repr(value) for value in values)
+                for part in parts:
+                    digest.update(part.encode("utf-8"))
+                    digest.update(b"\x1f")
+                digest.update(b"\x1e")
+            self._fingerprint = digest.hexdigest()[:24]
+        return self._fingerprint
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         cols = ", ".join(f"{c.name}:{c.dtype.value}" for c in self.schema.columns)

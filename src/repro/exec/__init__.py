@@ -1,0 +1,27 @@
+"""Pluggable execution backends for batch workloads.
+
+Importing this package registers the three built-in backends —
+``serial``, ``thread``, and ``process`` — into the backend registry;
+:meth:`repro.session.Session.batch` resolves its ``backend=`` argument
+here.  See :mod:`repro.exec.base` for the protocol and the backend
+matrix, and :mod:`repro.exec.process` for the GIL-breaking worker-lane
+runtime.
+"""
+
+from repro.exec.base import (BackendError, ExecutionBackend, backend_names,
+                             create_backend, register_backend)
+from repro.exec.process import ProcessBackend, default_start_method
+from repro.exec.serial import SerialBackend
+from repro.exec.thread import ThreadBackend
+
+__all__ = [
+    "BackendError",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "backend_names",
+    "create_backend",
+    "default_start_method",
+    "register_backend",
+]

@@ -1,0 +1,146 @@
+"""Worker-process side of the process backend.
+
+Everything in this module runs inside a pool worker process.  The
+contract with the parent (:mod:`repro.exec.process`) is JSON-shaped on
+the hot path: the parent ships ``LogicalPlan.to_dict()`` payloads in and
+receives ``QueryResult.to_dict()`` payloads back, so big objects (tables,
+rendered images) never cross the pipe — the worker rebuilds its own lake
+deterministically from the :class:`~repro.datasets.LakeSpec` generation
+parameters in the per-process initializer and verifies the fingerprint
+matches the parent's before serving anything.
+
+Each worker owns a full engine with *local* plan and answer caches
+(shared-nothing: no cross-process locking, no cache coherence traffic).
+Both caches are seeded at initialization from the parent's caches, and
+whatever a worker learns — plans it synthesizes, modality answers it
+infers — ships back with the query result, so the parent caches (and
+``--plan-cache-file`` / ``--answer-cache-file`` persistence) stay warm
+regardless of backend.  Shipping fresh answers is proportional to the
+inference actually performed, so warm queries add nothing to the pipe.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from repro.core.answer_cache import AnswerCache, AnswerKey
+from repro.core.batch import PlanCache
+from repro.core.engine import Engine
+from repro.core.plan import LogicalPlan
+from repro.data.datatypes import decode_scalar, encode_scalar
+from repro.datasets import LakeSpec
+
+#: per-process engine state, populated by :func:`initialize_worker`.
+_STATE: dict[str, object] = {}
+
+
+class _JournalingAnswerCache(AnswerCache):
+    """An answer cache that journals fresh puts.
+
+    Operators only ``put`` after real model inference, so the journal of
+    one query is exactly the set of answers the worker just learned —
+    what gets shipped back to the parent cache.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self.journal: list[tuple[AnswerKey, object]] = []
+
+    def put(self, key: AnswerKey, answer: object) -> None:
+        super().put(key, answer)
+        self.journal.append((key, answer))
+
+    def drain(self) -> list[list[object]]:
+        """The journaled entries, JSON-encoded, and an empty journal."""
+        entries = [[key[0], key[1], key[2], encode_scalar(answer)]
+                   for key, answer in self.journal]
+        self.journal = []
+        return entries
+
+
+def initialize_worker(payload: dict) -> None:
+    """Pool initializer: rebuild the lake and stand up a local engine.
+
+    *payload* carries the lake spec + the parent's *content* fingerprint
+    (cell-level, not just shape — see :meth:`~repro.data.catalog.
+    DataLake.content_fingerprint`), the (pickled) brain / role overrides
+    / engine config, local cache capacities, and the parent's warm plans
+    as ``LogicalPlan.to_dict()`` payloads.  A fingerprint mismatch means
+    ``(dataset, seed, scale)`` generation is not deterministic on this
+    host — that must fail loudly, not serve answers about a silently
+    different lake.
+    """
+    spec = LakeSpec.from_dict(payload["lake_spec"])
+    lake = spec.build()
+    fingerprint = lake.content_fingerprint()
+    expected = payload["content_fingerprint"]
+    if fingerprint != expected:
+        raise RuntimeError(
+            f"worker lake content fingerprint {fingerprint} does not match "
+            f"the parent's {expected} for spec {spec!r}; lake generation "
+            "is not deterministic across processes")
+    # Plan-cache keys use the shape fingerprint (plans transfer between
+    # same-shaped lakes by design); content equality above guarantees the
+    # shapes agree with the parent too.
+    plan_key_fingerprint = lake.fingerprint()
+    plan_cache = PlanCache(payload["plan_cache_capacity"])
+    for entry in payload["plans"]:
+        plan_cache.put((entry["query"], plan_key_fingerprint),
+                       LogicalPlan.from_dict(entry["plan"]))
+    answer_cache = _JournalingAnswerCache(payload["answer_cache_capacity"])
+    for fingerprint_, question, answer_type, answer in payload["answers"]:
+        answer_cache.put((fingerprint_, question, answer_type),
+                         decode_scalar(answer))
+    answer_cache.journal = []  # seeding is not fresh inference
+    engine = Engine(lake, model=payload["brain"], config=payload["config"],
+                    planner=payload["planner"], mapper=payload["mapper"],
+                    executor=payload["executor"], plan_cache=plan_cache,
+                    answer_cache=answer_cache)
+    _STATE.update(engine=engine, plan_cache=plan_cache,
+                  answer_cache=answer_cache, fingerprint=expected)
+
+
+def _cache_deltas(before_plan: tuple[int, int, int],
+                  before_answer: tuple[int, int, int]) -> dict:
+    plan_after = _STATE["plan_cache"].snapshot()
+    answer_after = _STATE["answer_cache"].snapshot()
+    return {
+        "plan_delta": [a - b for a, b in zip(plan_after, before_plan)],
+        "answer_delta": [a - b for a, b in zip(answer_after, before_answer)],
+    }
+
+
+def run_worker_query(query: str) -> dict:
+    """Answer one query on the worker's local engine.
+
+    Returns a JSON-shaped payload: ``{"ok": True, "result": <QueryResult
+    dict>, "fresh_plan": <plan dict or None>, "fresh_answers": [...],
+    ...cache deltas}`` on any engine outcome (including engine-level
+    error results), or ``{"ok": False, "error": ..., "traceback": ...}``
+    when the engine itself crashed with a non-Repro exception.  Crashes
+    are caught here so a poisoned query never kills the worker process
+    or its pool — the parent records a worker
+    :class:`~repro.core.plan.ErrorEvent` and falls back to in-parent
+    execution.
+    """
+    engine: Engine = _STATE["engine"]
+    answer_cache: _JournalingAnswerCache = _STATE["answer_cache"]
+    answer_cache.journal = []
+    before_plan = _STATE["plan_cache"].snapshot()
+    before_answer = answer_cache.snapshot()
+    try:
+        result = engine.query(query)
+    except Exception as exc:  # noqa: BLE001 - crash containment boundary
+        payload = {"ok": False,
+                   "error": f"{type(exc).__name__}: {exc}",
+                   "traceback": traceback.format_exc(limit=8)}
+        payload.update(_cache_deltas(before_plan, before_answer))
+        return payload
+    payload = {"ok": True, "result": result.to_dict(), "fresh_plan": None,
+               "fresh_answers": answer_cache.drain()}
+    trace = result.trace
+    if (result.ok and trace is not None and not trace.plan_cache_hit
+            and trace.logical_plan is not None):
+        payload["fresh_plan"] = trace.logical_plan.to_dict()
+    payload.update(_cache_deltas(before_plan, before_answer))
+    return payload

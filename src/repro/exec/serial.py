@@ -1,0 +1,30 @@
+"""The serial backend: one engine, the calling thread."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.batch import BatchReport, execute_batch
+from repro.exec.base import ExecutionBackend, register_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session import Session
+
+
+class SerialBackend(ExecutionBackend):
+    """Run the workload on one engine in the calling thread.
+
+    *workers* is ignored — serial means serial.  This is the overhead
+    floor every other backend's speedup is measured against, and the
+    reference implementation for result parity.
+    """
+
+    name = "serial"
+
+    def run(self, session: "Session", queries: Sequence[str],
+            workers: int) -> BatchReport:
+        return execute_batch(session.engine_pool(1), queries,
+                             session.plan_cache, session.answer_cache)
+
+
+register_backend(SerialBackend.name, SerialBackend)

@@ -22,6 +22,7 @@ from repro.core.answer_cache import AnswerCache
 from repro.data.table import Table
 from repro.errors import OperatorError, UnknownTableError
 from repro.plotting.spec import PlotSpec
+from repro.relational.sqlexec import SQLBridge
 from repro.text.qa import BartQASim
 from repro.vision.blip import Blip2Sim
 
@@ -37,6 +38,11 @@ class ExecutionContext:
     #: set, the VQA / TextQA / Image Select operators memoize model answers
     #: through it instead of re-running inference.
     answer_cache: AnswerCache | None = None
+    #: optional engine-lifetime :class:`~repro.relational.sqlexec.SQLBridge`;
+    #: when set, the SQL operator runs over this persistent connection
+    #: (tables are re-registered only when their content fingerprint
+    #: changes) instead of rebuilding an in-memory database per call.
+    sql_bridge: SQLBridge | None = None
 
     def resolve(self, name: str) -> Table:
         if name not in self.tables:

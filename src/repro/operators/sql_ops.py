@@ -48,12 +48,18 @@ class SQLOperator(PhysicalOperator):
 
     def run(self, context: ExecutionContext, args: list[str]) -> OperatorResult:
         (sql,) = self.require_args(args, 1)
+        tables = referenced_tables(sql, context.tables)
         try:
-            with SQLExecutor() as executor:
-                for name, table in referenced_tables(sql,
-                                                     context.tables).items():
-                    executor.register(name, table)
-                result = executor.execute(sql)
+            if context.sql_bridge is not None:
+                # Engine-lifetime connection: registration is memoized on
+                # content fingerprints, pruned against the current context.
+                result = context.sql_bridge.execute(sql, tables,
+                                                    known=context.tables)
+            else:
+                with SQLExecutor() as executor:
+                    for name, table in tables.items():
+                        executor.register(name, table)
+                    result = executor.execute(sql)
         except ReproError as exc:
             raise OperatorError(str(exc), operator=self.name) from exc
         observation = (

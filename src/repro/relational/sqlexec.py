@@ -59,10 +59,16 @@ def _adapt_cell(value: object) -> object:
 
 
 class SQLExecutor:
-    """Executes SELECT-only SQL over registered :class:`Table` values."""
+    """Executes SELECT-only SQL over registered :class:`Table` values.
 
-    def __init__(self) -> None:
-        self._connection = sqlite3.connect(":memory:")
+    *check_same_thread* is forwarded to :func:`sqlite3.connect`; pass
+    ``False`` for executors that outlive one query and may be driven from
+    different (but never concurrent) threads, like :class:`SQLBridge`.
+    """
+
+    def __init__(self, check_same_thread: bool = True) -> None:
+        self._connection = sqlite3.connect(
+            ":memory:", check_same_thread=check_same_thread)
         self._store = ObjectStore()
         self._registered: dict[str, Table] = {}
 
@@ -113,6 +119,14 @@ class SQLExecutor:
         cursor.executemany(insert_sql, zip(*prepared) if prepared else [])
         self._connection.commit()
         self._registered[name] = table
+
+    def unregister(self, name: str) -> None:
+        """Drop *name* from the sqlite database (no-op when absent)."""
+        if name not in self._registered:
+            return
+        self._connection.execute(f"DROP TABLE IF EXISTS {_quote_ident(name)}")
+        self._connection.commit()
+        del self._registered[name]
 
     def execute(self, sql: str) -> Table:
         """Run one guarded SELECT and return the result as a :class:`Table`."""
@@ -176,6 +190,71 @@ def _infer_sql_dtype(values: list[object]) -> DataType:
     if kinds <= {int, float}:
         return DataType.FLOAT
     return DataType.STRING
+
+
+class SQLBridge:
+    """A connection-lifetime sqlite bridge that memoizes registrations.
+
+    :meth:`SQLExecutor.register` copies every row into sqlite, which
+    dominates batch execution on large lakes when each SQL step rebuilds
+    the database from scratch.  A bridge keeps one connection alive across
+    queries and re-registers a table only when its content fingerprint
+    (:meth:`repro.data.table.Table.fingerprint`) changed under its name —
+    the immutable lake tables of a warmed-up engine are therefore copied
+    into sqlite exactly once per engine, not once per SQL step.
+
+    One bridge belongs to one engine (one in-flight query at a time); the
+    connection is opened with ``check_same_thread=False`` because the
+    thread backend may run consecutive queries of the same engine on
+    different pool threads.  Concurrent use of a single bridge is not
+    supported — engines are never shared by two in-flight queries.
+    """
+
+    def __init__(self) -> None:
+        self._executor = SQLExecutor(check_same_thread=False)
+        self._fingerprints: dict[str, str] = {}
+        #: diagnostic counters: sqlite registrations actually performed vs.
+        #: registrations skipped because the fingerprint matched.
+        self.registrations = 0
+        self.reuses = 0
+
+    def close(self) -> None:
+        self._executor.close()
+        self._fingerprints.clear()
+
+    def __enter__(self) -> "SQLBridge":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def sync(self, tables: dict[str, Table],
+             known: dict[str, Table] | None = None) -> None:
+        """Bring the sqlite database up to date with *tables*.
+
+        *known* is the full set of currently valid table names (defaults
+        to *tables*); registrations whose name is no longer valid are
+        dropped, so a statement can never be answered from a table that a
+        previous query bound and this one does not know about.
+        """
+        valid = known if known is not None else tables
+        for name in [n for n in self._fingerprints if n not in valid]:
+            self._executor.unregister(name)
+            del self._fingerprints[name]
+        for name, table in tables.items():
+            fingerprint = table.fingerprint()
+            if self._fingerprints.get(name) == fingerprint:
+                self.reuses += 1
+                continue
+            self._executor.register(name, table)
+            self._fingerprints[name] = fingerprint
+            self.registrations += 1
+
+    def execute(self, sql: str, tables: dict[str, Table],
+                known: dict[str, Table] | None = None) -> Table:
+        """Sync *tables* (pruning against *known*) and run one SELECT."""
+        self.sync(tables, known=known)
+        return self._executor.execute(sql)
 
 
 def run_sql(sql: str, tables: dict[str, Table]) -> Table:

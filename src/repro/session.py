@@ -5,8 +5,9 @@ queries over one :class:`~repro.data.catalog.DataLake` — the planner brain,
 the engine configuration, and the two caches — behind three methods:
 
 - :meth:`Session.query` answers one query;
-- :meth:`Session.batch` drains a workload, serially or over N worker
-  threads, and returns a :class:`~repro.core.batch.BatchReport`;
+- :meth:`Session.batch` drains a workload through an execution backend
+  (serial, thread pool, or GIL-free process lanes — :mod:`repro.exec`)
+  and returns a :class:`~repro.core.batch.BatchReport`;
 - :meth:`Session.bench` runs the benchmark harness over this session's
   lake.
 
@@ -39,7 +40,7 @@ from typing import Iterable, Sequence
 
 from repro.core.answer_cache import AnswerCache
 from repro.core.batch import (DEFAULT_ANSWER_CACHE_SIZE, BatchReport,
-                              PlanCache, execute_batch)
+                              PlanCache)
 from repro.core.engine import Engine, EngineConfig
 from repro.core.interfaces import Executor, Mapper, Planner
 from repro.core.plan import QueryResult
@@ -96,6 +97,7 @@ class Session:
                              else AnswerCache(answer_cache_size))
         self._engines: list[Engine] = []
         self._pool_lock = threading.Lock()
+        self._backends: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Querying
@@ -106,26 +108,44 @@ class Session:
         return self._pool(1)[0].query(query)
 
     def batch(self, queries: Sequence[str] | Iterable[str],
-              workers: int = 1) -> BatchReport:
-        """Drain *queries* through *workers* worker engines.
+              workers: int = 1, backend: object | None = None) -> BatchReport:
+        """Drain *queries* through an execution backend.
 
-        ``workers=1`` runs serially; more workers drain the workload
-        through a thread pool, all sharing this session's plan and answer
-        caches.  Consecutive calls share cache warmth, but each report
-        accounts only its own run.
+        *backend* selects the strategy (:mod:`repro.exec`): a registered
+        name (``"serial"`` / ``"thread"`` / ``"process"``), an
+        :class:`~repro.exec.ExecutionBackend` instance (the caller owns
+        its lifecycle), or ``None`` for the default — serial at
+        ``workers=1``, the thread pool above that.  All backends produce
+        identical results for the same workload; they differ in where
+        the worker engines live and therefore in throughput.
+
+        Named backends are instantiated once per session and kept (a
+        process backend's worker lanes stay warm across consecutive
+        batches); :meth:`close` shuts them down.  Consecutive calls share
+        cache warmth, but each report accounts only its own run.
         """
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
-        return execute_batch(self._pool(workers), queries,
-                             self.plan_cache, self.answer_cache)
+        from repro.exec import ExecutionBackend
+        if backend is None:
+            backend = self._backend("serial" if workers == 1 else "thread")
+        elif isinstance(backend, str):
+            backend = self._backend(backend)
+        elif not isinstance(backend, ExecutionBackend):
+            raise TypeError(
+                f"backend must be a registered name or an ExecutionBackend, "
+                f"got {type(backend).__name__}")
+        return backend.run(self, queries, workers)
 
     def bench(self, workers: Sequence[int] = (1, 2, 4), repeats: int = 3,
+              backends: Sequence[str] = ("thread",),
               llm_latency_ms: float | None = None,
               output: str | None = None, quiet: bool = True) -> dict:
         """Run the benchmark harness over this session's lake and stack.
 
-        Each worker count gets a fresh child session — same lake, brain,
-        config, and planner/mapper/executor overrides, but cold caches —
+        Each ``(backend, workers)`` point gets a fresh child session —
+        same lake, brain, config, and planner/mapper/executor overrides,
+        but cold caches and a cold worker pool —
         and a cold + warm pass (see :mod:`repro.benchmarks.harness`); this
         session's own caches are not touched.  *llm_latency_ms* replaces
         the brain with a :class:`~repro.llm.brain.SimulatedBrain` at that
@@ -153,6 +173,7 @@ class Session:
                            executor=self.executor)
 
         config = BenchConfig(dataset=self.lake.name, workers=tuple(workers),
+                             backends=tuple(backends),
                              repeats=repeats,
                              llm_latency_ms=llm_latency_ms,
                              output=output, quiet=quiet)
@@ -173,6 +194,31 @@ class Session:
         """Persist the plan cache; returns the number of entries written."""
         return self.plan_cache.save(path)
 
+    def save_answer_cache(self, path: str | Path) -> int:
+        """Persist the answer cache; returns the number of entries written.
+
+        Together with :meth:`save_plan_cache` this makes a restart fully
+        warm: plans *and* modality-model answers survive on disk
+        (``--plan-cache-file`` / ``--answer-cache-file`` in the CLI).
+        """
+        return self.answer_cache.save(path)
+
+    def load_answer_cache(self, path: str | Path,
+                          capacity: int | None = None) -> int:
+        """Replace the answer cache with one rehydrated from *path*.
+
+        *capacity* overrides the capacity persisted in the file.  Returns
+        the number of answers loaded.  Keys are content fingerprints, so
+        loading a file saved against different objects is safe — it just
+        never hits.
+        """
+        cache = AnswerCache.load(path, capacity=capacity)
+        with self._pool_lock:
+            self.answer_cache = cache
+            for engine in self._engines:
+                engine.answer_cache = cache
+        return len(cache)
+
     def load_plan_cache(self, path: str | Path,
                         capacity: int | None = None) -> int:
         """Replace the plan cache with one rehydrated from *path*.
@@ -190,8 +236,47 @@ class Session:
         return len(cache)
 
     # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down backend resources (e.g. process-backend worker lanes).
+
+        Idempotent; the session itself stays usable (a later batch simply
+        recreates what it needs).  Use the session as a context manager to
+        get this automatically.
+        """
+        with self._pool_lock:
+            backends = list(self._backends.values())
+            self._backends.clear()
+        for backend in backends:
+            backend.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def engine_pool(self, workers: int) -> list[Engine]:
+        """The first *workers* engines (grown on demand) — backend hook.
+
+        Execution backends that run engines in this process (serial,
+        thread) draw them from here so engine reuse, shared caches, and
+        role overrides stay consistent with :meth:`query`.
+        """
+        return self._pool(workers)
+
+    def _backend(self, name: str):
+        from repro.exec import create_backend
+        with self._pool_lock:
+            if name not in self._backends:
+                self._backends[name] = create_backend(name)
+            return self._backends[name]
 
     def _pool(self, workers: int) -> list[Engine]:
         """The first *workers* engines, growing the pool as needed.

@@ -1,0 +1,82 @@
+"""Failure-injection planners for process-backend tests.
+
+These live in an importable module (not inline in a test) because the
+process backend pickles the session's planner into each worker
+initializer — classes defined inside a test function cannot cross that
+boundary.  Each planner wraps the default prompt planner and misbehaves
+only for queries carrying its marker, so the rest of a workload runs
+normally.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.interfaces import PromptPlanner
+
+POISON_MARKER = "POISON"
+EXIT_MARKER = "HARD-EXIT"
+SLEEP_MARKER = "SLOW"
+
+
+class PoisonPlanner(PromptPlanner):
+    """Raises a non-Repro exception for queries containing the marker.
+
+    The crash happens wherever the planner runs — worker *and* parent —
+    modelling a genuinely poisoned query (the in-parent fallback must
+    fail too, without killing the batch).
+    """
+
+    def plan(self, lake, query, hints, transcript, **kwargs):
+        if POISON_MARKER in query:
+            raise RuntimeError(f"poisoned query: {query!r}")
+        return super().plan(lake, query, hints, transcript, **kwargs)
+
+
+class WorkerOnlyPoisonPlanner(PromptPlanner):
+    """Crashes only in a process whose pid differs from *parent_pid*.
+
+    Models a worker-environment failure (OOM kill, corrupted worker
+    state): the worker crashes, the in-parent fallback succeeds.
+    """
+
+    def __init__(self, model, parent_pid: int):
+        super().__init__(model)
+        self.parent_pid = parent_pid
+
+    def plan(self, lake, query, hints, transcript, **kwargs):
+        if POISON_MARKER in query and os.getpid() != self.parent_pid:
+            raise RuntimeError(f"worker-only crash: {query!r}")
+        return super().plan(lake, query, hints, transcript, **kwargs)
+
+
+class HardExitPlanner(PromptPlanner):
+    """Kills the worker process outright for marked queries.
+
+    ``os._exit`` bypasses all exception handling, so the pool breaks
+    (BrokenProcessPool) — the strongest crash the backend must survive.
+    """
+
+    def __init__(self, model, parent_pid: int):
+        super().__init__(model)
+        self.parent_pid = parent_pid
+
+    def plan(self, lake, query, hints, transcript, **kwargs):
+        if EXIT_MARKER in query and os.getpid() != self.parent_pid:
+            os._exit(13)
+        return super().plan(lake, query, hints, transcript, **kwargs)
+
+
+class SleepyPlanner(PromptPlanner):
+    """Sleeps far past any reasonable timeout for marked worker queries."""
+
+    def __init__(self, model, parent_pid: int, seconds: float = 30.0):
+        super().__init__(model)
+        self.parent_pid = parent_pid
+        self.seconds = seconds
+
+    def plan(self, lake, query, hints, transcript, **kwargs):
+        if SLEEP_MARKER in query and os.getpid() != self.parent_pid:
+            time.sleep(self.seconds)
+        return super().plan(lake, query, hints, transcript, **kwargs)

@@ -35,6 +35,10 @@ def test_config_validation():
     with pytest.raises(ValueError):
         BenchConfig(workers=(0,))
     with pytest.raises(ValueError):
+        BenchConfig(backends=())
+    with pytest.raises(ValueError):
+        BenchConfig(backends=("warp-drive",))
+    with pytest.raises(ValueError):
         BenchConfig(llm_latency_ms=-1)
     with pytest.raises(ValueError):
         BenchConfig(repeats=0)
@@ -64,7 +68,10 @@ def test_run_benchmark_emits_record_and_json(tmp_path):
     assert record["dataset"] == "artwork"
     assert record["lake_rows"]["paintings_metadata"] == 30
     assert record["queries_per_run"] == len(WORKLOADS["artwork"])
+    assert record["backends"] == ["thread"]
+    assert record["cpu_count"] >= 1
     assert [run["workers"] for run in record["runs"]] == [1, 2]
+    assert all(run["backend"] == "thread" for run in record["runs"])
     for run in record["runs"]:
         for pass_name in ("cold", "warm"):
             metrics = run[pass_name]
@@ -74,8 +81,9 @@ def test_run_benchmark_emits_record_and_json(tmp_path):
         # The warm pass rides the caches populated by the cold pass.
         assert run["warm"]["plan_cache"]["hit_rate"] == 1.0
         assert run["warm"]["answer_cache"]["misses"] == 0
-    assert "2" in record["warm_speedup_vs_1_worker"]
-    assert record["warm_speedup_vs_1_worker"]["1"] == 1.0
+    curve = record["warm_speedup_vs_1_worker"]["thread"]
+    assert "2" in curve
+    assert curve["1"] == 1.0
 
 
 def test_run_benchmark_without_output_writes_nothing(tmp_path, monkeypatch):
@@ -86,3 +94,24 @@ def test_run_benchmark_without_output_writes_nothing(tmp_path, monkeypatch):
     record = run_benchmark(config)
     assert record["runs"]
     assert not list(tmp_path.iterdir())
+
+
+def test_run_benchmark_multi_backend_curves(tmp_path):
+    config = BenchConfig(dataset="rotowire", scale=0.1, workers=(1, 2),
+                         backends=("serial", "process"), repeats=1,
+                         llm_latency_ms=0.0, output=None, quiet=True)
+    record = run_benchmark(config)
+    assert [(run["backend"], run["workers"]) for run in record["runs"]] == [
+        ("serial", 1), ("serial", 2), ("process", 1), ("process", 2)]
+    assert set(record["warm_speedup_vs_1_worker"]) == {"serial", "process"}
+    for run in record["runs"]:
+        assert run["cold"]["errors"] == 0
+        assert run["warm"]["errors"] == 0
+        assert run["cold"]["backend"] == run["backend"]
+    # A process worker's local caches must warm up exactly like the
+    # shared serial cache does (deterministic query->lane affinity).
+    process_warm = [run["warm"] for run in record["runs"]
+                    if run["backend"] == "process"]
+    for metrics in process_warm:
+        assert metrics["plan_cache"]["hit_rate"] == 1.0
+        assert metrics["answer_cache"]["misses"] == 0

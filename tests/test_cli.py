@@ -57,6 +57,30 @@ def test_cli_batch_mode_parallel(tmp_path, capsys):
     assert "serial-equivalent" in out
 
 
+def test_cli_batch_backend_flag(tmp_path, capsys):
+    batch = tmp_path / "queries.txt"
+    batch.write_text("How many players are taller than 200?\n"
+                     "Who is the tallest player?\n", encoding="utf-8")
+    code = main(["batch", "--dataset", "rotowire", str(batch),
+                 "--workers", "2", "--backend", "process"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "process backend" in out
+    assert "2 queries (2 ok, 0 errors)" in out
+
+
+def test_cli_batch_rejects_unknown_backend(tmp_path, capsys):
+    batch = tmp_path / "queries.txt"
+    batch.write_text("whatever\n", encoding="utf-8")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["batch", "--dataset", "rotowire", str(batch),
+              "--backend", "quantum"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown backend" in err
+    assert "process" in err
+
+
 def test_cli_scale_flag(capsys):
     code = main(["query", "--dataset", "rotowire", "--scale", "0.2",
                  "How many players are taller than 200?"])
@@ -73,7 +97,7 @@ def test_cli_bench_subcommand(tmp_path, capsys):
     assert output.exists()
     out = capsys.readouterr().out
     assert "warm speedup at 2 workers" in out
-    assert "workers=1" in out
+    assert "thread x1" in out
 
 
 def test_cli_empty_batch_file(tmp_path, capsys):

@@ -1,0 +1,152 @@
+"""Process-backend failure paths: crashes, broken pools, timeouts.
+
+The recovery contract: any worker failure records a ``phase="worker"``
+:class:`ErrorEvent`, never kills the batch, and every other query still
+completes in submission order.  Where the query itself is healthy the
+in-parent fallback answers it (event ``recovered=True``); where the
+query is poisoned everywhere the result is an error result with both
+events on its trace.
+"""
+
+import os
+
+import pytest
+
+from _poison import (EXIT_MARKER, POISON_MARKER, SLEEP_MARKER,
+                     HardExitPlanner, PoisonPlanner, SleepyPlanner,
+                     WorkerOnlyPoisonPlanner)
+from repro.exec import ProcessBackend
+from repro.llm.brain import SimulatedBrain
+from repro.session import Session
+
+HEALTHY = [
+    "How many players are taller than 200?",
+    "Who is the tallest player?",
+    "List the names of players taller than 200.",
+]
+
+
+def worker_events(result):
+    return [e for e in result.trace.errors if e.phase == "worker"]
+
+
+def test_poisoned_query_does_not_kill_the_pool():
+    queries = [HEALTHY[0], f"{POISON_MARKER} everything", *HEALTHY[1:]]
+    with Session("rotowire",
+                 planner=PoisonPlanner(SimulatedBrain())) as session:
+        report = session.batch(queries, workers=2, backend="process")
+
+        # Submission order is preserved across the failure.
+        assert [stat.query for stat in report.stats] == queries
+        assert [r.trace.query for r in report.results] == queries
+
+        poisoned = report.results[1]
+        assert not poisoned.ok
+        events = worker_events(poisoned)
+        assert len(events) == 1
+        assert "poisoned query" in events[0].message
+        # The fallback hit the same poison in the parent: not recovered.
+        assert not events[0].recovered
+        assert report.num_errors == 1
+        assert report.num_ok == len(HEALTHY)
+
+        # The pool survived: re-running the identical workload reuses the
+        # warm lanes (affinity is first-occurrence-relative, so the same
+        # workload maps to the same lanes and their kept plan caches).
+        again = session.batch(queries, workers=2, backend="process")
+        assert again.num_errors == 1
+        assert again.num_ok == len(HEALTHY)
+        assert again.cache_hits >= len(HEALTHY)
+
+
+def test_worker_only_crash_falls_back_to_parent():
+    queries = [HEALTHY[0], f"{HEALTHY[1]} {POISON_MARKER}", HEALTHY[2]]
+    planner = WorkerOnlyPoisonPlanner(SimulatedBrain(), os.getpid())
+    with Session("rotowire", planner=planner) as session:
+        report = session.batch(queries, workers=2, backend="process")
+    # The parent's planner is healthy for this query, so the fallback
+    # answers it and the batch finishes clean.
+    assert report.num_errors == 0
+    rescued = report.results[1]
+    assert rescued.ok
+    events = worker_events(rescued)
+    assert len(events) == 1
+    assert "worker-only crash" in events[0].message
+    assert events[0].recovered
+    # Order preserved; untouched queries unaffected.
+    assert [r.trace.query for r in report.results] == queries
+    assert report.results[0].ok and report.results[2].ok
+
+
+def test_worker_only_crash_recovered_result_matches_healthy_run():
+    query = f"{HEALTHY[0]} {POISON_MARKER}"
+    planner = WorkerOnlyPoisonPlanner(SimulatedBrain(), os.getpid())
+    with Session("rotowire", planner=planner) as session:
+        report = session.batch([query], workers=1, backend="process")
+        healthy = Session("rotowire").query(HEALTHY[0])
+    result = report.results[0]
+    # The fallback runs the full in-parent engine, so the rescued result
+    # carries a real answer plus the worker event prepended to its trace.
+    assert result.trace.errors[0].phase == "worker"
+    assert result.trace.errors[0].recovered
+    assert result.ok
+    assert result.value == healthy.value
+
+
+def test_hard_worker_exit_breaks_pool_but_not_the_batch():
+    queries = [HEALTHY[0], f"{HEALTHY[1]} {EXIT_MARKER}", HEALTHY[2]]
+    planner = HardExitPlanner(SimulatedBrain(), os.getpid())
+    with Session("rotowire", planner=planner) as session:
+        report = session.batch(queries, workers=2, backend="process")
+
+        assert [r.trace.query for r in report.results] == queries
+        crashed = report.results[1]
+        events = worker_events(crashed)
+        assert len(events) == 1
+        assert "worker crashed" in events[0].message
+        assert events[0].recovered  # parent ran it fine (marker is junk
+        # for the parser only inside plan(), which never raised here)
+
+        # Lanes were torn down and rebuild lazily: next batch succeeds.
+        again = session.batch(HEALTHY, workers=2, backend="process")
+        assert again.num_errors == 0
+
+
+def test_query_timeout_kills_lane_and_falls_back():
+    queries = [HEALTHY[0], f"{HEALTHY[1]} {SLEEP_MARKER}", HEALTHY[2]]
+    planner = SleepyPlanner(SimulatedBrain(), os.getpid(), seconds=30.0)
+    backend = ProcessBackend(timeout=2.0)
+    with Session("rotowire", planner=planner) as session:
+        try:
+            report = session.batch(queries, workers=2, backend=backend)
+        finally:
+            backend.close()
+    assert [r.trace.query for r in report.results] == queries
+    slow = report.results[1]
+    events = worker_events(slow)
+    assert len(events) == 1
+    assert "timed out" in events[0].message
+    assert events[0].recovered
+    assert report.results[0].ok and report.results[2].ok
+
+
+def test_process_backend_close_is_idempotent():
+    backend = ProcessBackend()
+    backend.close()
+    backend.close()
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_start_methods_answer_correctly(start_method):
+    import multiprocessing
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"{start_method} unavailable on this platform")
+    backend = ProcessBackend(start_method=start_method)
+    with Session("rotowire") as session:
+        serial = session.batch([HEALTHY[0]], backend="serial")
+        try:
+            report = session.batch([HEALTHY[0]], workers=1, backend=backend)
+        finally:
+            backend.close()
+    assert report.num_errors == 0
+    assert report.results[0].value == serial.results[0].value

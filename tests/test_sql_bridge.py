@@ -1,0 +1,99 @@
+"""Table fingerprints and the registration-memoizing sqlite bridge."""
+
+import pytest
+
+from repro.data.datatypes import DataType
+from repro.errors import SQLExecutionError
+from repro.data.schema import ColumnSpec, Schema
+from repro.data.table import Table
+from repro.relational.sqlexec import SQLBridge, run_sql
+from repro.session import Session
+
+
+def make_table(values):
+    schema = Schema([ColumnSpec("n", DataType.INTEGER)])
+    return Table(schema, {"n": values})
+
+
+# ----------------------------------------------------------------------
+# Table.fingerprint
+# ----------------------------------------------------------------------
+
+
+def test_fingerprint_is_content_based():
+    assert make_table([1, 2, 3]).fingerprint() == \
+        make_table([1, 2, 3]).fingerprint()
+    assert make_table([1, 2, 3]).fingerprint() != \
+        make_table([1, 2, 4]).fingerprint()
+
+
+def test_fingerprint_distinguishes_dtype_and_name():
+    ints = make_table([1, 2])
+    floats = Table(Schema([ColumnSpec("n", DataType.FLOAT)]),
+                   {"n": [1, 2]})
+    renamed = ints.rename({"n": "m"})
+    assert ints.fingerprint() != floats.fingerprint()
+    assert ints.fingerprint() != renamed.fingerprint()
+
+
+def test_fingerprint_covers_images(artwork_lake):
+    images = artwork_lake.table("painting_images")
+    assert images.fingerprint() == images.fingerprint()
+    assert images.head(5).fingerprint() != images.head(6).fingerprint()
+
+
+# ----------------------------------------------------------------------
+# SQLBridge
+# ----------------------------------------------------------------------
+
+
+def test_bridge_registers_once_per_content():
+    table = make_table([1, 2, 3])
+    with SQLBridge() as bridge:
+        first = bridge.execute("SELECT COUNT(*) AS c FROM t", {"t": table})
+        second = bridge.execute("SELECT COUNT(*) AS c FROM t", {"t": table})
+        assert bridge.registrations == 1
+        assert bridge.reuses == 1
+    assert first.column("c") == second.column("c") == [3]
+
+
+def test_bridge_reregisters_on_content_change():
+    with SQLBridge() as bridge:
+        bridge.execute("SELECT COUNT(*) AS c FROM t",
+                       {"t": make_table([1, 2])})
+        changed = bridge.execute("SELECT COUNT(*) AS c FROM t",
+                                 {"t": make_table([1, 2, 3])})
+        assert bridge.registrations == 2
+    assert changed.column("c") == [3]
+
+
+def test_bridge_prunes_stale_names():
+    with SQLBridge() as bridge:
+        bridge.execute("SELECT * FROM t1", {"t1": make_table([1])})
+        # A later query whose context no longer binds t1 must not be able
+        # to read the stale registration.
+        with pytest.raises(SQLExecutionError):
+            bridge.execute("SELECT * FROM t1",
+                           {"other": make_table([2])},
+                           known={"other": make_table([2])})
+
+
+def test_bridge_matches_one_shot_run_sql(rotowire_lake):
+    sql = ("SELECT name, height_cm FROM players "
+           "WHERE height_cm > 200 ORDER BY height_cm DESC")
+    tables = {"players": rotowire_lake.table("players")}
+    with SQLBridge() as bridge:
+        bridged = bridge.execute(sql, tables)
+    assert bridged == run_sql(sql, tables)
+
+
+def test_engine_reuses_registrations_across_batch():
+    queries = ["How many players are taller than 200?"] * 3
+    with Session("rotowire") as session:
+        report = session.batch(queries)
+        assert report.num_errors == 0
+        bridge = session.engine_pool(1)[0].sql_bridge
+        # Three identical queries -> the lake table is copied into sqlite
+        # once; the other SQL steps reuse the registration.
+        assert bridge.registrations >= 1
+        assert bridge.reuses >= 2
