@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Docs checker: every fenced code block runs, every intra-repo link
+resolves.
+
+Used by the CI ``docs`` job (and runnable locally):
+
+- ``bash`` blocks: every ``repro ...`` / ``python -m repro.cli ...``
+  command line is executed against the scale-1 lakes in a scratch
+  directory (with a small ``queries.txt`` pre-created for the batch
+  examples); other lines (``pip install``, ``pytest``, ...) are skipped.
+- ``python`` blocks are executed with ``exec`` in one shared namespace
+  per file, so later blocks may build on earlier ones.
+- A ``<!-- docs-check: skip -->`` comment on the line directly above a
+  fence skips that block (used for illustrative output and for
+  benchmark invocations too heavy for CI).
+- Markdown links to repository paths must exist; ``#anchor`` fragments
+  must match a heading in the target file.
+
+Exit status is non-zero on the first category of failure, with every
+individual failure listed.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+SKIP_MARKER = "<!-- docs-check: skip -->"
+
+_FENCE_RE = re.compile(
+    r"^(?P<indent>[ ]{0,3})```(?P<lang>[A-Za-z0-9_+-]*)\s*$")
+_LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\((?P<target>[^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(?P<text>.+?)\s*$")
+
+#: Sample batch file pre-created in the scratch directory so the
+#: ``repro batch ... queries.txt`` examples run.
+SAMPLE_QUERIES = """\
+# sample workload used by the documentation examples
+How many players are taller than 200?
+Who is the tallest player?
+List the names of players taller than 200.
+"""
+
+
+@dataclass
+class Block:
+    """One fenced code block of a documentation file."""
+
+    path: Path
+    lang: str
+    start_line: int
+    text: str
+    skipped: bool
+
+
+def extract_blocks(path: Path) -> list[Block]:
+    blocks: list[Block] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_block = False
+    lang = ""
+    start = 0
+    body: list[str] = []
+    skip_next = False
+    for number, line in enumerate(lines, 1):
+        if not in_block:
+            match = _FENCE_RE.match(line)
+            if match:
+                in_block = True
+                lang = match.group("lang").lower()
+                start = number
+                body = []
+            elif line.strip():
+                skip_next = line.strip() == SKIP_MARKER
+            continue
+        if line.strip() == "```":
+            blocks.append(Block(path, lang, start, "\n".join(body),
+                                skipped=skip_next))
+            in_block = False
+            skip_next = False
+        else:
+            body.append(line)
+    return blocks
+
+
+def _join_continuations(text: str) -> list[str]:
+    """Logical lines with trailing-backslash continuations merged."""
+    logical: list[str] = []
+    pending = ""
+    for line in text.splitlines():
+        merged = pending + line.rstrip()
+        if merged.endswith("\\"):
+            pending = merged[:-1] + " "
+            continue
+        logical.append(merged)
+        pending = ""
+    if pending:
+        logical.append(pending.rstrip())
+    return logical
+
+
+def _runnable_command(line: str) -> list[str] | None:
+    """argv for a doc command line we execute, or ``None`` to skip it."""
+    stripped = line.strip()
+    if stripped.startswith("#") or not stripped:
+        return None
+    if stripped.startswith("repro "):
+        return [sys.executable, "-m", "repro.cli",
+                *shlex.split(stripped)[1:]]
+    if stripped.startswith("python -m repro.cli"):
+        return [sys.executable, *shlex.split(stripped)[1:]]
+    return None
+
+
+def run_bash_block(block: Block, cwd: Path, env: dict[str, str],
+                   failures: list[str]) -> int:
+    executed = 0
+    for line in _join_continuations(block.text):
+        argv = _runnable_command(line)
+        if argv is None:
+            continue
+        executed += 1
+        result = subprocess.run(argv, cwd=cwd, env=env,
+                                capture_output=True, text=True,
+                                timeout=600)
+        if result.returncode != 0:
+            failures.append(
+                f"{block.path.name}:{block.start_line}: `{line.strip()}` "
+                f"exited {result.returncode}\n"
+                f"  stdout: {result.stdout.strip()[:400]}\n"
+                f"  stderr: {result.stderr.strip()[:400]}")
+    return executed
+
+
+def run_python_block(block: Block, namespace: dict, cwd: Path,
+                     failures: list[str]) -> int:
+    previous = os.getcwd()
+    os.chdir(cwd)
+    try:
+        exec(compile(block.text, f"{block.path.name}:{block.start_line}",
+                     "exec"), namespace)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash
+        failures.append(
+            f"{block.path.name}:{block.start_line}: python block raised "
+            f"{type(exc).__name__}: {exc}")
+    finally:
+        os.chdir(previous)
+    return 1
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading → fragment rule (close enough for our docs)."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def file_anchors(path: Path) -> set[str]:
+    anchors = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        match = _HEADING_RE.match(line)
+        if match:
+            anchors.add(github_anchor(match.group("text")))
+    return anchors
+
+
+def check_links(failures: list[str]) -> int:
+    checked = 0
+    for path in DOC_FILES:
+        for match in _LINK_RE.finditer(path.read_text(encoding="utf-8")):
+            target = match.group("target")
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # absolute URL
+                continue
+            checked += 1
+            base, _, fragment = target.partition("#")
+            resolved = (path.parent / base).resolve() if base else path
+            if base and not resolved.exists():
+                failures.append(f"{path.name}: broken link {target!r} "
+                                f"(no such file {base!r})")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in file_anchors(resolved):
+                    failures.append(
+                        f"{path.name}: broken anchor {target!r} "
+                        f"(no heading #{fragment} in {resolved.name})")
+    return checked
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+    link_failures: list[str] = []
+    links = check_links(link_failures)
+    print(f"[docs] checked {links} intra-repo links "
+          f"({len(link_failures)} broken)")
+
+    block_failures: list[str] = []
+    commands = 0
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+        cwd = Path(scratch)
+        (cwd / "queries.txt").write_text(SAMPLE_QUERIES, encoding="utf-8")
+        for path in DOC_FILES:
+            namespace: dict = {"__name__": "__docs__"}
+            for block in extract_blocks(path):
+                if block.skipped or block.lang not in ("bash", "python",
+                                                       "sh", "console"):
+                    continue
+                if block.lang == "python":
+                    commands += run_python_block(block, namespace, cwd,
+                                                 block_failures)
+                else:
+                    commands += run_bash_block(block, cwd, env,
+                                               block_failures)
+    print(f"[docs] executed {commands} documentation code blocks/commands "
+          f"({len(block_failures)} failed)")
+
+    for failure in link_failures + block_failures:
+        print(f"FAIL {failure}")
+    return 1 if (link_failures or block_failures) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.benchmarks.workloads import workload
+from repro.benchmarks.workloads import WORKLOAD_VERSION, workload
 from repro.cliargs import backend_list, positive_float, positive_int
 from repro.core.batch import BatchReport
 from repro.data.catalog import DataLake
@@ -188,6 +188,7 @@ def run_benchmark(config: BenchConfig, lake: DataLake | None = None,
 
     record = {
         "benchmark": "parallel_batch",
+        "workload_version": WORKLOAD_VERSION,
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),

@@ -4,10 +4,24 @@ Each workload mixes the three result kinds (value / table / plot) and both
 cache axes: repeated queries exercise the plan cache, and modality-heavy
 queries (VQA over every painting, TextQA over every report) exercise the
 answer cache.  The lists are fixed on purpose — benchmark numbers are only
-comparable across commits if the workload never drifts.
+comparable across commits if the workload never drifts; deliberate
+extensions bump :data:`WORKLOAD_VERSION` (recorded in every benchmark
+JSON) so trend lines across versions are never naively compared.
+
+Version history:
+
+- **v1** — single-table queries only.
+- **v2** — adds the widened grammar: cross-column joins
+  (players ⋈ teams on ``team = name``), multi-measure aggregates, and
+  typed date-range filters, so the benchmark tracks join-heavy
+  throughput.
 """
 
 from __future__ import annotations
+
+#: Bumped whenever a fixed workload deliberately changes; lands in the
+#: benchmark record so cross-commit comparisons stay honest.
+WORKLOAD_VERSION = 2
 
 #: Unique queries per dataset; the harness repeats the whole list
 #: ``--repeats`` times to form one run's workload.
@@ -20,6 +34,12 @@ WORKLOADS: dict[str, tuple[str, ...]] = {
         "For each movement, how many paintings are there?",
         "What is the earliest inception date of all paintings?",
         "Plot the number of paintings for each century.",
+        # v2: multi-measure aggregates and typed date ranges.
+        "What are the min, max and average year of impressionist "
+        "paintings?",
+        "For each movement, what are the earliest and latest inception "
+        "dates?",
+        "How many paintings were created between 1880 and 1895?",
     ),
     "rotowire": (
         "How many players are taller than 200?",
@@ -28,6 +48,16 @@ WORKLOADS: dict[str, tuple[str, ...]] = {
         "Who is the tallest player?",
         "Plot the average height of players per position.",
         "Plot the total number of points scored by each team.",
+        # v2: cross-column joins (players.team = teams.name),
+        # join+multi-measure combos, and date-range filters.
+        "What is the average height of players in the Eastern conference?",
+        "How many players play for teams in the Atlantic division?",
+        "Plot the number of players for each division.",
+        "What is the average number of points scored by players on teams "
+        "founded before 1970?",
+        "What are the minimum and maximum height of players in the "
+        "Western conference?",
+        "How many games took place in November 2018?",
     ),
 }
 

@@ -10,17 +10,28 @@ any other failure.
 from __future__ import annotations
 
 import ast
+import json
 import re
+import threading
 from dataclasses import dataclass
 
-from repro.core.plan import LogicalPlan, LogicalStep
+from repro.core.plan import LogicalPlan, LogicalStep, decode_params
 from repro.errors import PlanParseError
+
+#: CPython 3.11's AST constructor keeps its recursion-depth accounting in
+#: interpreter-wide state, so concurrent ``ast.parse`` calls from the
+#: thread backend's workers can raise ``SystemError: AST constructor
+#: recursion depth mismatch``.  Every in-repo ``ast.parse`` therefore
+#: serializes on this one lock (the UDF sandbox shares it); the parses
+#: are tiny, so contention is negligible.  Fixed upstream in 3.12.
+AST_LOCK = threading.Lock()
 
 _STEP_RE = re.compile(
     r"Step\s+(?P<index>\d+):\s*(?P<description>.*?)\s*"
     r"(?:\nInput:\s*(?P<inputs>\[.*?\])\s*"
     r"\nOutput:\s*(?P<output>\S+)\s*"
-    r"\nNew Columns:\s*(?P<new_columns>\[.*?\]))?\s*(?=\nStep\s+\d+:|\Z)",
+    r"\nNew Columns:\s*(?P<new_columns>\[.*?\])\s*"
+    r"(?:\nParams:\s*(?P<params>\{[^\n]*\}))?)?\s*(?=\nStep\s+\d+:|\Z)",
     re.DOTALL)
 
 _THOUGHT_RE = re.compile(r"Thought:\s*(.*?)(?=\nStep\s+\d+:|\Z)", re.DOTALL)
@@ -32,12 +43,26 @@ def _literal_list(text: str | None, what: str) -> list[str]:
     if text is None:
         return []
     try:
-        value = ast.literal_eval(text)
+        with AST_LOCK:
+            value = ast.literal_eval(text)
     except (ValueError, SyntaxError) as exc:
         raise PlanParseError(f"cannot parse {what} list {text!r}") from exc
     if not isinstance(value, list):
         raise PlanParseError(f"{what} is not a list: {text!r}")
     return [str(v) for v in value]
+
+
+def _parse_params(text: str | None) -> dict:
+    """Parse an optional ``Params: {...}`` JSON payload of a plan step."""
+    if text is None:
+        return {}
+    try:
+        value = json.loads(text)
+    except ValueError as exc:
+        raise PlanParseError(f"cannot parse Params payload {text!r}") from exc
+    if not isinstance(value, dict):
+        raise PlanParseError(f"Params payload is not an object: {text!r}")
+    return decode_params(value)
 
 
 def parse_logical_plan(text: str) -> LogicalPlan:
@@ -60,7 +85,8 @@ def parse_logical_plan(text: str) -> LogicalPlan:
             inputs=_literal_list(match.group("inputs"), "Input"),
             output=(match.group("output") or "").strip(),
             new_columns=_literal_list(match.group("new_columns"),
-                                      "New Columns")))
+                                      "New Columns"),
+            params=_parse_params(match.group("params"))))
     if not steps:
         raise PlanParseError(
             f"planning response contains no steps: {text[:200]!r}")

@@ -14,6 +14,7 @@ persistence, process workers, result archives).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import networkx as nx
@@ -23,34 +24,87 @@ from repro.data.table import Table
 from repro.plotting.spec import PlotSpec
 
 
+def encode_params(params: dict) -> dict:
+    """JSON-safe encoding of a step-params dict.
+
+    Scalars go through :func:`~repro.data.datatypes.encode_scalar` (dates
+    become tagged ``{"$date": iso}`` dicts), lists and dicts recurse — the
+    same tagged-scalar serde the rest of the plan IR uses.
+    """
+    return {key: _encode_param(value) for key, value in params.items()}
+
+
+def _encode_param(value: object) -> object:
+    if isinstance(value, dict):
+        return {key: _encode_param(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_param(item) for item in value]
+    return encode_scalar(value)
+
+
+def decode_params(data: dict) -> dict:
+    """Inverse of :func:`encode_params` (tagged dates become ``date``)."""
+    return {key: _decode_param(value) for key, value in data.items()}
+
+
+def _decode_param(value: object) -> object:
+    if isinstance(value, dict):
+        decoded = decode_scalar(value)
+        if decoded is not value:          # a tagged scalar
+            return decoded
+        return {key: _decode_param(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_param(item) for item in value]
+    return value
+
+
 @dataclass
 class LogicalStep:
-    """One step of the logical plan."""
+    """One step of the logical plan.
+
+    *params* is an optional structured sidecar for steps whose semantics
+    have machine-readable parts (join keys, aggregate measure lists, typed
+    date-range bounds).  The natural-language *description* stays the
+    canonical form the mapping phase binds operators from; params ride the
+    IR so caches, process workers, and tooling can consume the step
+    without re-parsing prose.  They round-trip through both
+    ``to_dict``/``from_dict`` and the rendered plan text (a ``Params:``
+    line, emitted only when non-empty, so pre-existing plans and cache
+    files stay valid).
+    """
 
     index: int                      # 1-based, as written in the plan text
     description: str
     inputs: list[str] = field(default_factory=list)
     output: str = ""
     new_columns: list[str] = field(default_factory=list)
+    #: structured step parameters; JSON-safe after :func:`encode_params`
+    #: (date scalars are tagged), empty for steps that need none.
+    params: dict = field(default_factory=dict)
 
     def render(self) -> str:
         lines = [f"Step {self.index}: {self.description}"]
         lines.append(f"Input: {self.inputs!r}")
         lines.append(f"Output: {self.output}")
         lines.append(f"New Columns: {self.new_columns!r}")
+        if self.params:
+            lines.append("Params: " + json.dumps(encode_params(self.params),
+                                                 sort_keys=True))
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
         return {"index": self.index, "description": self.description,
                 "inputs": list(self.inputs), "output": self.output,
-                "new_columns": list(self.new_columns)}
+                "new_columns": list(self.new_columns),
+                "params": encode_params(self.params)}
 
     @classmethod
     def from_dict(cls, data: dict) -> "LogicalStep":
         return cls(index=data["index"], description=data["description"],
                    inputs=list(data.get("inputs", [])),
                    output=data.get("output", ""),
-                   new_columns=list(data.get("new_columns", [])))
+                   new_columns=list(data.get("new_columns", [])),
+                   params=decode_params(data.get("params", {})))
 
 
 @dataclass

@@ -15,26 +15,39 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from datetime import date, timedelta
 
 from repro.data import (ColumnSpec, DataLake, DataSource, DataType,
                         ForeignKey, Schema, SourceKind, Table)
 from repro.text import GameBoxScore, PlayerLine, generate_report
 
 TEAMS = [
-    # (name, city, conference, division)
-    ("Heat", "Miami", "Eastern", "Southeast"),
-    ("Celtics", "Boston", "Eastern", "Atlantic"),
-    ("Knicks", "New York", "Eastern", "Atlantic"),
-    ("Bulls", "Chicago", "Eastern", "Central"),
-    ("Cavaliers", "Cleveland", "Eastern", "Central"),
-    ("Hawks", "Atlanta", "Eastern", "Southeast"),
-    ("Spurs", "San Antonio", "Western", "Southwest"),
-    ("Lakers", "Los Angeles", "Western", "Pacific"),
-    ("Warriors", "Golden State", "Western", "Pacific"),
-    ("Suns", "Phoenix", "Western", "Pacific"),
-    ("Jazz", "Salt Lake City", "Western", "Northwest"),
-    ("Rockets", "Houston", "Western", "Southwest"),
+    # (name, city, conference, division, founded)
+    # Founding years are fixed constants (no RNG draw), so adding the
+    # column never shifts the seeded generation stream of the other data.
+    ("Heat", "Miami", "Eastern", "Southeast", 1988),
+    ("Celtics", "Boston", "Eastern", "Atlantic", 1946),
+    ("Knicks", "New York", "Eastern", "Atlantic", 1946),
+    ("Bulls", "Chicago", "Eastern", "Central", 1966),
+    ("Cavaliers", "Cleveland", "Eastern", "Central", 1970),
+    ("Hawks", "Atlanta", "Eastern", "Southeast", 1946),
+    ("Spurs", "San Antonio", "Western", "Southwest", 1967),
+    ("Lakers", "Los Angeles", "Western", "Pacific", 1947),
+    ("Warriors", "Golden State", "Western", "Pacific", 1946),
+    ("Suns", "Phoenix", "Western", "Pacific", 1968),
+    ("Jazz", "Salt Lake City", "Western", "Northwest", 1974),
+    ("Rockets", "Houston", "Western", "Southwest", 1967),
 ]
+
+#: Opening day of the synthetic season; game dates advance from here
+#: deterministically in ``game_id`` alone (scale-stable, no RNG draw).
+SEASON_START = date(2018, 10, 1)
+_SEASON_DAYS = 170
+
+
+def game_date(game_id: int) -> date:
+    """The (deterministic) calendar date game *game_id* was played on."""
+    return SEASON_START + timedelta(days=(game_id * 7) % _SEASON_DAYS)
 
 _PLAYER_FIRST = ("Marcus", "Devin", "Jalen", "Andre", "Nikola", "Luka",
                  "Trae", "Kawhi", "Damian", "Pascal", "Rudy", "Klay",
@@ -69,7 +82,8 @@ class RotowireDataset:
         lake.add(DataSource(
             "teams", self.teams, kind=SourceKind.TABLE,
             description=("General information about every basketball team: "
-                         "name, city, conference and division.")))
+                         "name, city, conference, division and founding "
+                         "year.")))
         lake.add(DataSource(
             "players", self.players, kind=SourceKind.TABLE,
             description=("General information about every player: name, "
@@ -85,9 +99,10 @@ class RotowireDataset:
         lake.add(DataSource(
             "game_reports", self.game_reports,
             kind=SourceKind.TEXT_COLLECTION,
-            description=("Textual game reports of basketball games, "
-                         "containing the important statistics of the teams "
-                         "and players that participated in each game.")))
+            description=("Textual game reports of basketball games (with "
+                         "the date each game was played), containing the "
+                         "important statistics of the teams and players "
+                         "that participated in each game.")))
         return lake
 
     def games_of(self, team: str) -> list[int]:
@@ -168,14 +183,17 @@ def generate_rotowire_dataset(num_games: int = 30, seed: int = 11,
         team_points[(away, game_id)] = away_points
         teams_to_games_rows.append([home, game_id])
         teams_to_games_rows.append([away, game_id])
-        report_rows.append([game_id, generate_report(box, seed=seed + game_id)])
+        report_rows.append([game_id, game_date(game_id),
+                            generate_report(box, seed=seed + game_id)])
 
     teams_schema = Schema(
         [ColumnSpec("name", DataType.STRING, "team name"),
          ColumnSpec("city", DataType.STRING, "home city of the team"),
          ColumnSpec("conference", DataType.STRING,
                     "conference the team plays in (Eastern or Western)"),
-         ColumnSpec("division", DataType.STRING, "division of the team")],
+         ColumnSpec("division", DataType.STRING, "division of the team"),
+         ColumnSpec("founded", DataType.INTEGER,
+                    "year the team was founded")],
         description="general information for every team",
         foreign_keys=[ForeignKey("name", "teams_to_games", "name")],
         primary_key="name")
@@ -205,6 +223,8 @@ def generate_rotowire_dataset(num_games: int = 30, seed: int = 11,
                       ForeignKey("game_id", "game_reports", "game_id")])
     reports_schema = Schema(
         [ColumnSpec("game_id", DataType.INTEGER, "identifier of the game"),
+         ColumnSpec("date", DataType.DATE,
+                    "calendar date the game was played on"),
          ColumnSpec("report", DataType.TEXT,
                     "textual report of the game")],
         description="textual game reports",

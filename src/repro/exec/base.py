@@ -65,7 +65,14 @@ _FACTORIES: dict[str, Callable[[], ExecutionBackend]] = {}
 
 def register_backend(name: str,
                      factory: Callable[[], ExecutionBackend]) -> None:
-    """Register a backend *factory* under *name* (last writer wins)."""
+    """Register a backend *factory* under *name* (last writer wins).
+
+    The name becomes valid everywhere a backend is selected —
+    ``Session.batch(backend=name)``, ``repro batch --backend name``, and
+    ``repro bench --backend name`` — with no further wiring; the three
+    built-ins register themselves exactly this way when
+    :mod:`repro.exec` is imported.
+    """
     _FACTORIES[name] = factory
 
 

@@ -6,6 +6,13 @@ in the canonical step phrasing of the few-shot examples (Planning Phase), and
 it binds those step descriptions to physical operators with concrete
 arguments (Mapping Phase).
 
+Join planning walks the schema's foreign-key graph (cross-column keys
+like ``players.team = teams.name`` included) breadth-first from the
+tables the intent needs, anchored on the query's subject; multi-measure
+aggregates compile into one step with one output column per measure; and
+typed date-range filters render ``DATE '...'`` literals with the bounds
+riding the step's structured ``params``.
+
 :class:`SimulatedBrain` packages both behind the
 :class:`~repro.llm.interface.LanguageModel` protocol: it reads rendered chat
 prompts — the only channel between CAESURA and the model — recognises which
@@ -19,9 +26,11 @@ from __future__ import annotations
 import re
 import time
 from collections import deque
+from datetime import date
 
 from repro.core.parsing import (MappingDecision, PromptTable,
                                 parse_prompt_tables, parse_request)
+from repro.relational.ops import join_renames
 from repro.core.plan import LogicalPlan, LogicalStep
 from repro.core.prompts import (DISCOVERY_MARKER, ERROR_MARKER,
                                 MAPPING_MARKER, PLANNING_MARKER)
@@ -85,53 +94,78 @@ def _plural(noun: str) -> str:
 
 
 def _adjacency(tables: dict[str, PromptTable],
-               ) -> dict[str, list[tuple[str, str]]]:
-    """table → [(joinable table, shared join column)], same-name keys only."""
-    adjacency: dict[str, list[tuple[str, str]]] = {n: [] for n in tables}
+               ) -> dict[str, list[tuple[str, str, str]]]:
+    """table → [(joinable table, own key column, other side's key column)].
 
-    def connect(left: str, right: str, column: str) -> None:
-        if (right, column) not in adjacency[left]:
-            adjacency[left].append((right, column))
-        if (left, column) not in adjacency[right]:
-            adjacency[right].append((left, column))
+    Edges come from the schema's declared foreign keys — including
+    cross-column keys like ``players.team = teams.name`` — with a
+    same-name fallback for table pairs that declare no key but share
+    exactly one column name.  Declared keys win: the fallback never adds
+    an edge between tables a foreign key already connects (the shared
+    ``name`` column of ``players`` and ``teams`` is *not* a join key).
+    """
+    adjacency: dict[str, list[tuple[str, str, str]]] = {n: [] for n in tables}
+
+    def connect(left: str, right: str, left_col: str, right_col: str) -> None:
+        if (right, left_col, right_col) not in adjacency[left]:
+            adjacency[left].append((right, left_col, right_col))
+        if (left, right_col, left_col) not in adjacency[right]:
+            adjacency[right].append((left, right_col, left_col))
 
     for table in tables.values():
         for column, other_table, other_column in table.foreign_keys:
-            if other_table in tables and column == other_column:
-                connect(table.name, other_table, column)
+            if other_table in tables:
+                connect(table.name, other_table, column, other_column)
     # Fallback: tables sharing exactly one column name are joinable even
     # without a declared foreign key.
     names = list(tables)
     for i, left in enumerate(names):
         for right in names[i + 1:]:
+            if any(other == right for other, _l, _r in adjacency[left]):
+                continue  # a declared foreign key already connects them
             shared = (set(tables[left].column_names)
                       & set(tables[right].column_names))
             if len(shared) == 1:
-                connect(left, right, shared.pop())
+                column = shared.pop()
+                connect(left, right, column, column)
     return adjacency
 
 
-def _shortest_path(adjacency: dict[str, list[tuple[str, str]]],
-                   sources: set[str],
-                   target: str) -> list[tuple[str, str]] | None:
-    """BFS path from any of *sources* to *target*: [(table, join column)]."""
-    previous: dict[str, tuple[str, str] | None] = {s: None for s in sources}
+def _shortest_path(adjacency: dict[str, list[tuple[str, str, str]]],
+                   sources: list[str], target: str,
+                   ) -> list[tuple[str, str, str, str]] | None:
+    """BFS path from any of *sources* to *target*.
+
+    Returns ``[(parent table, table, parent's key column, table's key
+    column)]`` — one entry per table to join in.  The parent table is
+    needed because the key column must later be resolved to its
+    *current* name in the accumulated join result (an earlier join may
+    have ``_right``-renamed it).  *sources* is an ordered list: ties
+    between equal-length paths break toward the earliest source, so a
+    path anchored on the query's subject table ("players" →
+    ``players_to_games`` → ``game_reports``) beats an equally short path
+    through a table that merely rode along ("teams" →
+    ``teams_to_games`` → ...).  Set iteration order would make that
+    choice hash-seed dependent.
+    """
+    previous: dict[str, tuple[str, str, str] | None] = {
+        s: None for s in sources}
     queue = deque(sources)
     while queue:
         node = queue.popleft()
         if node == target:
             break
-        for other, column in adjacency.get(node, ()):
+        for other, near_col, far_col in adjacency.get(node, ()):
             if other not in previous:
-                previous[other] = (node, column)
+                previous[other] = (node, near_col, far_col)
                 queue.append(other)
     if target not in previous:
         return None
-    path: list[tuple[str, str]] = []
+    path: list[tuple[str, str, str, str]] = []
     node = target
     while previous[node] is not None:
-        parent, column = previous[node]  # type: ignore[misc]
-        path.append((node, column))
+        parent, near_col, far_col = previous[node]  # type: ignore[misc]
+        path.append((parent, node, near_col, far_col))
         node = parent
     return list(reversed(path))
 
@@ -154,11 +188,13 @@ class _Builder:
         return base if count == 1 else f"{base}_{count}"
 
     def add(self, description: str, inputs: list[str], output: str,
-            new_columns: list[str] | None = None) -> str:
+            new_columns: list[str] | None = None,
+            params: dict | None = None) -> str:
         self.steps.append(LogicalStep(
             index=len(self.steps) + 1, description=description,
             inputs=list(inputs), output=output,
-            new_columns=list(new_columns or [])))
+            new_columns=list(new_columns or []),
+            params=dict(params or {})))
         return output
 
 
@@ -171,6 +207,8 @@ _OP_PHRASES = {"=": "equals", "!=": "does not equal",
 def _render_value(value: object) -> str:
     if isinstance(value, bool):
         return f"'{str(value).lower()}'"
+    if isinstance(value, date):
+        return f"DATE '{value.isoformat()}'"
     if isinstance(value, (int, float)):
         return repr(value)
     return "'" + str(value).replace("'", "''") + "'"
@@ -178,27 +216,51 @@ def _render_value(value: object) -> str:
 
 def _emit_select(builder: _Builder, current: str, column: str, op: str,
                  value: object) -> str:
-    condition = f"{_OP_PHRASES[op]} {_render_value(value)}"
+    """Emit a row-selection step.
+
+    ``op == "between"`` takes a ``(low, high)`` bound pair — dates render
+    as typed ``DATE '...'`` literals, and the bounds ride the step's
+    params as tagged date scalars.
+    """
+    params: dict = {"column": column, "op": op}
+    if op == "between":
+        low, high = value  # type: ignore[misc]
+        condition = (f"is between {_render_value(low)} "
+                     f"and {_render_value(high)}")
+        params.update(low=low, high=high)
+    else:
+        condition = f"{_OP_PHRASES[op]} {_render_value(value)}"
+        params["value"] = value
     output = builder.name("selected_table")
     builder.add(
         f"Select only the rows of the '{current}' table where the "
-        f"'{column}' column {condition}.", [current], output)
+        f"'{column}' column {condition}.", [current], output, params=params)
     return output
 
 
 def _needed_tables(intent: QueryIntent,
                    tables: dict[str, PromptTable]) -> list[str]:
+    """Base tables the plan must join, subject table first when it anchors.
+
+    Row-counting and text-extraction measures are *about* the query's
+    subject ("how many players play for teams in ...", "points scored by
+    players on teams founded ..."), so an explicitly named subject table
+    leads — it becomes the join base and the rows that get counted or
+    fed to the extraction operator.
+    """
     needed: list[str] = []
 
     def note(name: str | None) -> None:
         if name and name in tables and name not in needed:
             needed.append(name)
 
+    if intent.subject_explicit and any(
+            m.kind in ("count_rows", "text_stat") for m in intent.measures):
+        note(intent.subject_table)
     group = intent.group_by
     if group:
         note(group.table)
-    measure = intent.measure
-    if measure:
+    for measure in intent.measures:
         note(measure.table)
     for item in intent.filters:
         if isinstance(item, RelationalFilter):
@@ -219,7 +281,7 @@ def _needed_tables(intent: QueryIntent,
                            "exists in the schema")
         note(image_table.name)
         adjacency = _adjacency(tables)
-        for other, _column in adjacency[image_table.name]:
+        for other, _near_col, _far_col in adjacency[image_table.name]:
             note(other)
     if intent.needs_text:
         text_table = _table_with_dtype(tables, "TEXT")
@@ -247,14 +309,23 @@ def _anchored_select_columns(intent: QueryIntent,
 
 def _emit_joins(builder: _Builder, needed: list[str],
                 tables: dict[str, PromptTable]) -> tuple[str, set[str]]:
+    """Join every table in *needed* into one current table.
+
+    Same-name keys emit the classic "on the 'x' column" step (mapped to
+    SQL ``JOIN ... USING``); cross-column keys ("players.team =
+    teams.name") emit the two-column phrasing mapped to the Join
+    operator.  Right-side name clashes follow
+    :func:`repro.relational.ops.join_renames`, and the returned column
+    set reflects them.
+    """
     base = needed[0]
     current = base
     columns = set(tables[base].column_names)
     if len(needed) == 1:
         return current, columns
     adjacency = _adjacency(tables)
-    included = {base}
-    join_sequence: list[tuple[str, str]] = []
+    included = [base]                      # ordered: subject/base first
+    join_sequence: list[tuple[str, str, str, str]] = []
     for target in needed[1:]:
         if target in included:
             continue
@@ -263,16 +334,42 @@ def _emit_joins(builder: _Builder, needed: list[str],
             raise LLMError(
                 f"cannot find a join path from {sorted(included)} to "
                 f"{target!r}")
-        for table, column in path:
+        for parent, table, near_col, far_col in path:
             if table not in included:
-                join_sequence.append((table, column))
-                included.add(table)
-    for table, column in join_sequence:
+                join_sequence.append((parent, table, near_col, far_col))
+                included.append(table)
+    #: (base table, base column) → the column's current name in the
+    #: accumulated join result; cross joins ``_right``-rename clashes,
+    #: and a later hop out of the renamed side must join on the renamed
+    #: column, not the original.
+    current_name: dict[tuple[str, str], str] = {
+        (base, name): name for name in tables[base].column_names}
+    for parent, table, near_col, far_col in join_sequence:
         output = builder.name("joined_table")
-        builder.add(
-            f"Join the '{current}' and '{table}' tables on the "
-            f"'{column}' column.", [current, table], output)
-        columns |= set(tables[table].column_names)
+        near = current_name.get((parent, near_col), near_col)
+        params = {"left": current, "right": table,
+                  "left_on": near, "right_on": far_col}
+        right_columns = list(tables[table].column_names)
+        if near == far_col:
+            # SQL ``JOIN ... USING`` merges the key and keeps duplicate
+            # names as-is, exactly like before.
+            builder.add(
+                f"Join the '{current}' and '{table}' tables on the "
+                f"'{near}' column.", [current, table], output,
+                params=params)
+            columns |= set(right_columns)
+            for name in right_columns:
+                current_name[(table, name)] = name
+        else:
+            builder.add(
+                f"Join the '{current}' and '{table}' tables on the "
+                f"'{near}' and '{far_col}' columns.", [current, table],
+                output, params=params)
+            renames = join_renames(sorted(columns), right_columns,
+                                   near, far_col)
+            columns |= {renames.get(name, name) for name in right_columns}
+            for name in right_columns:
+                current_name[(table, name)] = renames.get(name, name)
         current = output
     return current, columns
 
@@ -328,8 +425,8 @@ def synthesize_plan(intent: QueryIntent,
         need_derivation(group.derive, group.source_column)
     for item in derived_filters:
         need_derivation(item.derive, item.source_column)
-    if measure:
-        need_derivation(measure.derive, measure.source_column)
+    for item in intent.measures:
+        need_derivation(item.derive, item.source_column)
     for derive, source in derivations:
         if source not in columns:
             raise LLMError(f"cannot derive {derive!r}: source column "
@@ -365,6 +462,11 @@ def synthesize_plan(intent: QueryIntent,
             columns.add(new_column)
             current = output
             current = _emit_select(builder, current, new_column, "=", "yes")
+
+    # Multi-measure aggregates ("the min, max and avg of 'year'") compile
+    # into ONE aggregation step with one output column per measure; a
+    # single measure falls through to the classic single-measure steps.
+    multi_specs = _multi_measure_specs(intent, tables, columns)
 
     # Measure extraction from modalities.
     text_table = _table_with_dtype(tables, "TEXT")
@@ -432,18 +534,42 @@ def synthesize_plan(intent: QueryIntent,
         group_column = group.derive if group.derive else group.column
         if group_column is None or group_column not in columns:
             raise LLMError(f"group column {group_column!r} is not available")
-        aggphrase, value_column = _group_aggregation(measure, measure_column)
-        output = builder.name("grouped_table")
-        builder.add(
-            f"Group the '{current}' table by '{group_column}' and compute "
-            f"the {aggphrase} into the '{value_column}' column.",
-            [current], output, [value_column])
-        columns = {group_column, value_column}
-        current = output
-    elif measure is not None and intent.output_kind != "plot":
-        current, value_column = _emit_scalar_aggregation(
-            builder, current, measure, measure_column)
-        columns = {value_column}
+        if multi_specs:
+            phrases, outputs_text = _render_measure_list(multi_specs)
+            output = builder.name("grouped_table")
+            builder.add(
+                f"Group the '{current}' table by '{group_column}' and "
+                f"compute {phrases} into the {outputs_text} columns.",
+                [current], output, [out for _agg, _col, out in multi_specs],
+                params={"by": group_column,
+                        "measures": _measure_params(multi_specs)})
+            columns = {group_column} | {out for _a, _c, out in multi_specs}
+            current = output
+        else:
+            aggphrase, value_column = _group_aggregation(measure,
+                                                         measure_column)
+            output = builder.name("grouped_table")
+            builder.add(
+                f"Group the '{current}' table by '{group_column}' and "
+                f"compute the {aggphrase} into the '{value_column}' column.",
+                [current], output, [value_column])
+            columns = {group_column, value_column}
+            current = output
+    elif intent.measures and intent.output_kind != "plot":
+        if multi_specs:
+            phrases, outputs_text = _render_measure_list(multi_specs)
+            output = builder.name("result_table")
+            builder.add(
+                f"Compute {phrases} of the '{current}' table into the "
+                f"{outputs_text} columns.",
+                [current], output, [out for _agg, _col, out in multi_specs],
+                params={"measures": _measure_params(multi_specs)})
+            columns = {out for _agg, _col, out in multi_specs}
+            current = output
+        else:
+            current, value_column = _emit_scalar_aggregation(
+                builder, current, measure, measure_column)
+            columns = {value_column}
     elif intent.superlative is not None:
         current = _emit_superlative(builder, intent, tables, current, columns)
     if (group is None and measure is None and intent.superlative is None
@@ -486,6 +612,61 @@ def synthesize_plan(intent: QueryIntent,
 
     thought = _render_thought(intent, needed)
     return LogicalPlan(steps=builder.steps, thought=thought)
+
+
+def _multi_measure_specs(intent: QueryIntent,
+                         tables: dict[str, PromptTable],
+                         columns: set[str],
+                         ) -> list[tuple[str, str, str]] | None:
+    """``(agg word, input column, output column)`` triples for a
+    multi-measure aggregate, or ``None`` for the single-measure paths.
+
+    Only pure column measures (including derived columns like ``year``)
+    compose into one multi-measure step; plots take a single y-measure,
+    so multi-measure plots fall back to the first measure.
+    """
+    measures = intent.measures
+    if (len(measures) < 2 or intent.output_kind == "plot"
+            or any(m.kind != "column" for m in measures)):
+        return None
+    specs: list[tuple[str, str, str]] = []
+    seen: set[tuple[str, str]] = set()
+    for m in measures:
+        if m.derive:
+            column = m.derive
+        else:
+            located = _anchored(intent, tables, m.table, m.column or "")
+            if located is None or located[1] not in columns:
+                raise LLMError(
+                    f"measure column {m.column!r} is not available")
+            column = located[1]
+        agg_word = ("distinct count" if m.agg == "count_distinct"
+                    else m.agg)
+        if (agg_word, column) in seen:
+            continue
+        seen.add((agg_word, column))
+        specs.append((agg_word, column, f"{m.agg}_{column}"))
+    return specs if len(specs) > 1 else None
+
+
+def _render_measure_list(specs: list[tuple[str, str, str]],
+                         ) -> tuple[str, str]:
+    """("the min of 'year', ... and the avg of 'year'",
+    "'min_year', ... and 'avg_year'") for a multi-measure step."""
+    phrases = [f"the {agg} of '{column}'" for agg, column, _out in specs]
+    outputs = [f"'{out}'" for _agg, _column, out in specs]
+    return _comma_and(phrases), _comma_and(outputs)
+
+
+def _comma_and(parts: list[str]) -> str:
+    if len(parts) == 1:
+        return parts[0]
+    return ", ".join(parts[:-1]) + " and " + parts[-1]
+
+
+def _measure_params(specs: list[tuple[str, str, str]]) -> list[dict]:
+    return [{"agg": agg, "column": column, "output": out}
+            for agg, column, out in specs]
 
 
 def _group_aggregation(measure, measure_column: str | None,
@@ -575,6 +756,9 @@ def _render_thought(intent: QueryIntent, needed: list[str]) -> str:
 _JOIN_STEP_RE = re.compile(
     r"^Join the '(?P<left>\w+)' and '(?P<right>\w+)' tables on the "
     r"'(?P<col>\w+)' column\.$")
+_CROSS_JOIN_STEP_RE = re.compile(
+    r"^Join the '(?P<left>\w+)' and '(?P<right>\w+)' tables on the "
+    r"'(?P<lcol>\w+)' and '(?P<rcol>\w+)' columns\.$")
 _SELECT_STEP_RE = re.compile(
     r"^Select only the rows of the '(?P<t>\w+)' table where the "
     r"'(?P<col>\w+)' column (?P<cond>.+)\.$")
@@ -606,6 +790,17 @@ _AGG_STEP_RE = re.compile(
     r"^Compute the (?P<agg>count|distinct count|sum|avg|min|max) of the "
     r"'(?P<col>\w+)' column of the '(?P<t>\w+)' table into the "
     r"'(?P<new>\w+)' column\.$")
+_AGG_SPEC = r"the (?:count|distinct count|sum|avg|min|max) of '\w+'"
+_MULTI_AGG_STEP_RE = re.compile(
+    rf"^Compute (?P<specs>{_AGG_SPEC}(?:(?:, | and ){_AGG_SPEC})+) of the "
+    rf"'(?P<t>\w+)' table into the (?P<outs>'\w+'(?:(?:, | and )'\w+')+) "
+    rf"columns\.$")
+_MULTI_GROUP_STEP_RE = re.compile(
+    rf"^Group the '(?P<t>\w+)' table by '(?P<g>\w+)' and compute "
+    rf"(?P<specs>{_AGG_SPEC}(?:(?:, | and ){_AGG_SPEC})+) into the "
+    rf"(?P<outs>'\w+'(?:(?:, | and )'\w+')+) columns\.$")
+_AGG_SPEC_ITEM_RE = re.compile(
+    r"the (?P<agg>count|distinct count|sum|avg|min|max) of '(?P<col>\w+)'")
 _SORT_STEP_RE = re.compile(
     r"^Sort the '(?P<t>\w+)' table by the '(?P<col>\w+)' column in "
     r"(?P<dir>ascending|descending) order and keep only the first row\.$")
@@ -627,14 +822,28 @@ _CONDITION_RES = [
     (re.compile(r"^contains (?P<v>.+)$"), "contains"),
 ]
 
+_BETWEEN_CONDITION_RE = re.compile(
+    r"^is between (?P<lo>DATE '[^']+'|'(?:[^']|'')*'|\S+) "
+    r"and (?P<hi>DATE '[^']+'|'(?:[^']|'')*'|\S+)$")
+
+_DATE_LITERAL_RE = re.compile(r"^DATE\s+'(?P<iso>[^']+)'$")
+
 
 def _quote_ident(name: str) -> str:
     return '"' + name.replace('"', '""') + '"'
 
 
 def _parse_condition_value(token: str) -> tuple[object, bool]:
-    """Parse a rendered literal; returns (value, is_string)."""
+    """Parse a rendered literal; returns (value, is_string).
+
+    Typed ``DATE '...'`` literals come back as their ISO string form —
+    sqlite stores and compares dates as TEXT, and ISO strings order
+    correctly.
+    """
     token = token.strip()
+    date_match = _DATE_LITERAL_RE.match(token)
+    if date_match:
+        return date_match.group("iso"), True
     if len(token) >= 2 and token.startswith("'") and token.endswith("'"):
         return token[1:-1].replace("''", "'"), True
     try:
@@ -661,6 +870,19 @@ def _agg_sql(agg_word: str, column: str | None) -> str:
     return f"{agg_word.upper()}({_quote_ident(column or '')})"
 
 
+def _multi_agg_select_list(specs_text: str, outs_text: str) -> str:
+    """SQL select-list for a multi-measure step's spec and output lists."""
+    specs = _AGG_SPEC_ITEM_RE.findall(specs_text)
+    outs = re.findall(r"'(\w+)'", outs_text)
+    if len(specs) != len(outs):
+        raise LLMError(
+            f"multi-measure step lists {len(specs)} aggregates but "
+            f"{len(outs)} output columns")
+    return ", ".join(
+        f"{_agg_sql(agg, column)} AS {_quote_ident(out)}"
+        for (agg, column), out in zip(specs, outs))
+
+
 def map_step(description: str) -> MappingDecision:
     """Bind one canonical step description to an operator + arguments.
 
@@ -679,9 +901,34 @@ def map_step(description: str) -> MappingDecision:
             reasoning="Joining two tables on a shared key column is "
                       "relational work, so SQL is the right operator.")
 
+    match = _CROSS_JOIN_STEP_RE.match(description)
+    if match:
+        return MappingDecision(
+            operator="Join",
+            arguments=[match.group("left"), match.group("right"),
+                       match.group("lcol"), match.group("rcol")],
+            reasoning="The join keys have different column names on the "
+                      "two sides, which is exactly what the Join operator "
+                      "handles.")
+
     match = _SELECT_STEP_RE.match(description)
     if match:
         condition = match.group("cond").strip()
+        between = _BETWEEN_CONDITION_RE.match(condition)
+        if between:
+            low, low_is_string = _parse_condition_value(between.group("lo"))
+            high, high_is_string = _parse_condition_value(between.group("hi"))
+            column = _quote_ident(match.group("col"))
+            predicate = (f"{column} BETWEEN "
+                         f"{_sql_literal(low, low_is_string)} AND "
+                         f"{_sql_literal(high, high_is_string)}")
+            sql = (f"SELECT * FROM {_quote_ident(match.group('t'))} "
+                   f"WHERE {predicate}")
+            return MappingDecision(
+                operator="SQL", arguments=[sql],
+                reasoning="A range predicate over a relational column is "
+                          "SQL work; date bounds compare correctly as ISO "
+                          "strings.")
         for pattern, op in _CONDITION_RES:
             cond_match = pattern.match(condition)
             if cond_match is None:
@@ -794,6 +1041,30 @@ def map_step(description: str) -> MappingDecision:
         return MappingDecision(
             operator="SQL", arguments=[sql],
             reasoning="Aggregating a relational column is SQL work.")
+
+    match = _MULTI_AGG_STEP_RE.match(description)
+    if match:
+        select_list = _multi_agg_select_list(match.group("specs"),
+                                             match.group("outs"))
+        sql = (f"SELECT {select_list} "
+               f"FROM {_quote_ident(match.group('t'))}")
+        return MappingDecision(
+            operator="SQL", arguments=[sql],
+            reasoning="Several aggregates over relational columns compute "
+                      "in one SQL statement, one output column each.")
+
+    match = _MULTI_GROUP_STEP_RE.match(description)
+    if match:
+        select_list = _multi_agg_select_list(match.group("specs"),
+                                             match.group("outs"))
+        group_column = _quote_ident(match.group("g"))
+        sql = (f"SELECT {group_column}, {select_list} FROM "
+               f"{_quote_ident(match.group('t'))} GROUP BY {group_column} "
+               f"ORDER BY {group_column}")
+        return MappingDecision(
+            operator="SQL", arguments=[sql],
+            reasoning="Grouping with several aggregates is SQL work, one "
+                      "output column per aggregate.")
 
     match = _SORT_STEP_RE.match(description)
     if match:
@@ -954,9 +1225,10 @@ class SimulatedBrain:
                         located = _locate(tables, column or "")
                         if located:
                             note(*located)
-            measure = intent.measure
-            if measure is not None and measure.kind == "column":
-                note(measure.table, measure.source_column or measure.column)
+            for measure in intent.measures:
+                if measure.kind == "column":
+                    note(measure.table,
+                         measure.source_column or measure.column)
             for table, column in _anchored_select_columns(intent, tables):
                 note(table, column)
             if intent.superlative:

@@ -2,10 +2,17 @@
 
 This module is the "reasoning" core of the simulated planner: it parses a
 natural-language request against the table schemas recovered from the prompt
-into a structured :class:`QueryIntent` (output kind, grouping, measure,
+into a structured :class:`QueryIntent` (output kind, grouping, measures,
 filters, projections).  It is a *general* rule-based semantic parser — it
 works from linguistic patterns and schema matching, never from a lookup of
 known benchmark queries.
+
+The grammar covers single- and multi-measure aggregates ("the min, max and
+average year of ..."), relational filters including typed date ranges
+("created between 1880 and 1895", "in November 2018", open-ended "before
+March 1885"), multi-modal predicates, grouping, superlatives, and
+projections; cross-table questions ("players on teams founded before
+1970") resolve through the schema's foreign keys during plan synthesis.
 
 The plan synthesizer (:mod:`repro.llm.brain`) turns intents into logical
 plans; model profiles may then corrupt those plans in the
@@ -16,6 +23,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from datetime import date, timedelta
 
 from repro.core.parsing import PromptTable
 from repro.errors import LLMError
@@ -73,30 +81,44 @@ class Measure:
 
 @dataclass
 class QueryIntent:
-    """Structured understanding of one natural-language query."""
+    """Structured understanding of one natural-language query.
+
+    *measures* holds one entry per requested aggregate; multi-measure
+    queries ("the min, max and average year of ...") produce several,
+    single-measure queries exactly one, and :attr:`measure` stays as the
+    first-measure view the single-measure code paths read.
+    """
 
     query: str
     output_kind: str                  # value | table | plot
     plot_kind: str = "bar"
     subject: str = ""                 # paintings | teams | players | games
     subject_table: str | None = None
+    #: True when the subject noun was stated in the query (vs. defaulted
+    #: to the largest table); plan synthesis only anchors row-counting /
+    #: text-extraction joins on explicitly named subjects.
+    subject_explicit: bool = False
     group_by: GroupKey | None = None
-    measure: Measure | None = None
+    measures: list[Measure] = field(default_factory=list)
     filters: list[object] = field(default_factory=list)
     select_columns: list[tuple[str, str]] = field(default_factory=list)
     superlative: tuple[str, str, str] | None = None  # (agg, by, target col)
     distinct: bool = False
 
     @property
+    def measure(self) -> Measure | None:
+        """The first (often only) measure, or ``None``."""
+        return self.measures[0] if self.measures else None
+
+    @property
     def needs_images(self) -> bool:
         if any(isinstance(f, DepictsFilter) for f in self.filters):
             return True
-        return self.measure is not None and self.measure.kind == "vqa_count"
+        return any(m.kind == "vqa_count" for m in self.measures)
 
     @property
     def needs_text(self) -> bool:
-        return (self.measure is not None
-                and self.measure.kind in ("text_stat", "outcome"))
+        return any(m.kind in ("text_stat", "outcome") for m in self.measures)
 
     @property
     def is_multimodal(self) -> bool:
@@ -114,7 +136,38 @@ _AGG_WORDS = [
     ("earliest", "min"), ("oldest", "min"),
     ("average", "avg"), ("mean", "avg"),
     ("total", "sum"), ("sum of", "sum"),
+    ("max", "max"), ("min", "min"), ("avg", "avg"),
 ]
+
+#: surface form → aggregate, for the multi-measure list grammar
+#: ("the min, max and average year ..."); longest alternatives first so the
+#: regex alternation never truncates a word.
+_AGG_SURFACE = {
+    "most recent": "max", "maximum": "max", "highest": "max",
+    "largest": "max", "latest": "max", "max": "max",
+    "minimum": "min", "lowest": "min", "smallest": "min",
+    "earliest": "min", "oldest": "min", "min": "min",
+    "average": "avg", "mean": "avg", "avg": "avg",
+    "total": "sum", "sum": "sum",
+}
+
+_AGG_ALTERNATION = "|".join(
+    sorted(_AGG_SURFACE, key=len, reverse=True))
+
+_MONTHS = {
+    "january": 1, "february": 2, "march": 3, "april": 4, "may": 5,
+    "june": 6, "july": 7, "august": 8, "september": 9, "october": 10,
+    "november": 11, "december": 12,
+}
+
+_MONTH_ALTERNATION = "|".join(_MONTHS)
+
+#: adjectival movement references ("impressionist paintings").
+_MOVEMENT_ADJECTIVES = {
+    "renaissance": "Renaissance", "baroque": "Baroque",
+    "romantic": "Romanticism", "romanticist": "Romanticism",
+    "impressionist": "Impressionism", "expressionist": "Expressionism",
+}
 
 _DERIVED_NOUNS = {"century": "century", "centuries": "century",
                   "decade": "decade", "decades": "decade",
@@ -146,6 +199,7 @@ _COLUMN_SYNONYMS = {
     "position": "position", "positions": "position",
     "height": "height_cm", "heights": "height_cm",
     "team": "team", "city": "city", "cities": "city",
+    "founded": "founded", "date": "date", "dates": "date",
 }
 
 _DATE_COLUMNS = ("inception", "date", "created")
@@ -283,6 +337,98 @@ def _parse_group(query: str,
     return None
 
 
+# ----------------------------------------------------------------------
+# Date-range phrases
+# ----------------------------------------------------------------------
+
+_DATE_BETWEEN_RE = re.compile(
+    rf"\bbetween\s+(?:(?P<m1>{_MONTH_ALTERNATION})\s+)?(?P<y1>\d{{4}})\s+"
+    rf"and\s+(?:(?P<m2>{_MONTH_ALTERNATION})\s+)?(?P<y2>\d{{4}})",
+    re.IGNORECASE)
+_DATE_IN_MONTH_RE = re.compile(
+    rf"\bin\s+(?P<month>{_MONTH_ALTERNATION})\s+(?P<year>\d{{4}})",
+    re.IGNORECASE)
+_DATE_OPEN_RE = re.compile(
+    rf"\b(?P<op>before|after|since|until)\s+"
+    rf"(?P<month>{_MONTH_ALTERNATION})\s+(?P<year>\d{{4}})",
+    re.IGNORECASE)
+# Year-only open end; "until" has no legacy derived-year rule, so it is
+# the one year-only spelling the typed-date path owns.
+_DATE_UNTIL_RE = re.compile(r"\buntil\s+(?P<year>\d{4})", re.IGNORECASE)
+_FOUNDED_RE = re.compile(r"\bfounded\s+(?P<op>after|before|since|until|in)"
+                         r"\s+(?P<year>\d{4})", re.IGNORECASE)
+_FOUNDED_BETWEEN_RE = re.compile(
+    r"\bfounded\s+between\s+(?P<y1>\d{4})\s+and\s+(?P<y2>\d{4})",
+    re.IGNORECASE)
+
+
+def _month_span(year: int, month: int) -> tuple[date, date]:
+    """First and last day of one calendar month."""
+    start = date(year, month, 1)
+    if month == 12:
+        end = date(year, 12, 31)
+    else:
+        end = date(year, month + 1, 1) - timedelta(days=1)
+    return start, end
+
+
+def _span(month_name: str | None, year: int) -> tuple[date, date]:
+    """Inclusive (start, end) dates of a "November 2018" / "1885" phrase."""
+    if month_name:
+        return _month_span(year, _MONTHS[month_name.lower()])
+    return date(year, 1, 1), date(year, 12, 31)
+
+
+def _preceded_by_founded(query: str, match: re.Match) -> bool:
+    """True when the date phrase belongs to a "founded ..." qualifier —
+    that phrase filters the integer founding-year column, not the
+    schema's date column."""
+    return query[:match.start()].rstrip().lower().endswith("founded")
+
+
+def _parse_date_range(query: str, tables: dict[str, PromptTable],
+                      ) -> RelationalFilter | None:
+    """A typed date-range predicate over the schema's date column, if any.
+
+    Handles closed ranges ("between 1880 and 1895", "between November 2018
+    and January 2019"), month containment ("in November 2018"), and open
+    ends ("before March 1885", "since November 1885").  Values are
+    :class:`datetime.date` bounds — the typed scalars the expression
+    language and the plan-IR serde carry.  "founded ..." phrases are the
+    founding-year grammar's, never a date-column filter.
+    """
+    date_col = _date_column(tables)
+    if date_col is None:
+        return None
+    table, column = date_col
+
+    match = _DATE_BETWEEN_RE.search(query)
+    if match and not _preceded_by_founded(query, match):
+        start, _ = _span(match.group("m1"), int(match.group("y1")))
+        _, end = _span(match.group("m2"), int(match.group("y2")))
+        return RelationalFilter(column, "between", (start, end), table=table)
+    match = _DATE_IN_MONTH_RE.search(query)
+    if match:
+        start, end = _span(match.group("month"), int(match.group("year")))
+        return RelationalFilter(column, "between", (start, end), table=table)
+    match = _DATE_OPEN_RE.search(query)
+    if match and not _preceded_by_founded(query, match):
+        start, end = _span(match.group("month"), int(match.group("year")))
+        op = match.group("op").lower()
+        if op == "before":
+            return RelationalFilter(column, "<", start, table=table)
+        if op == "after":
+            return RelationalFilter(column, ">", end, table=table)
+        if op == "since":
+            return RelationalFilter(column, ">=", start, table=table)
+        return RelationalFilter(column, "<=", end, table=table)  # until
+    match = _DATE_UNTIL_RE.search(query)
+    if match and not _preceded_by_founded(query, match):
+        _, end = _span(None, int(match.group("year")))
+        return RelationalFilter(column, "<=", end, table=table)
+    return None
+
+
 def _parse_filters(query: str, tables: dict[str, PromptTable],
                    intent: QueryIntent) -> list[object]:
     filters: list[object] = []
@@ -328,6 +474,26 @@ def _parse_filters(query: str, tables: dict[str, PromptTable],
     if match and _find_column(tables, "genre"):
         filters.append(RelationalFilter("genre", "=", match.group(1),
                                         table="paintings_metadata"))
+    match = re.search(rf"\b({'|'.join(_MOVEMENT_ADJECTIVES)})\s+"
+                      r"(?:paintings?|artworks?)", lowered)
+    if match and _find_column(tables, "movement"):
+        filters.append(RelationalFilter(
+            "movement", "=", _MOVEMENT_ADJECTIVES[match.group(1)],
+            table="paintings_metadata"))
+    match = _FOUNDED_RE.search(query)
+    if match and _find_column(tables, "founded"):
+        year = int(match.group("year"))
+        op = {"after": ">", "since": ">=", "before": "<", "until": "<=",
+              "in": "="}[match.group("op").lower()]
+        filters.append(RelationalFilter("founded", op, year, table="teams"))
+    match = _FOUNDED_BETWEEN_RE.search(query)
+    if match and _find_column(tables, "founded"):
+        filters.append(RelationalFilter(
+            "founded", "between",
+            (int(match.group("y1")), int(match.group("y2"))), table="teams"))
+    date_range = _parse_date_range(query, tables)
+    if date_range is not None:
+        filters.append(date_range)
     match = re.search(r"created (after|before|since) (\d{4})", lowered)
     if match:
         date_col = _date_column(tables)
@@ -357,9 +523,13 @@ def _parse_filters(query: str, tables: dict[str, PromptTable],
 
     # Team-name mention ("the Heat") as an equality filter, only for
     # rotowire-style schemas and only when no grouping is requested.
+    # Words an earlier filter already consumed ("the Atlantic division")
+    # are not team names.
+    consumed = {str(f.value) for f in filters
+                if isinstance(f, RelationalFilter)}
     if ("teams" in tables and intent.group_by is None):
         for word in re.findall(r"\bthe ([A-Z][a-z]+)\b", query):
-            if word in ("Eastern", "Western"):
+            if word in ("Eastern", "Western") or word in consumed:
                 continue
             located = _find_column(tables, "conference")
             if located and word.lower() in ("conference", "division"):
@@ -438,11 +608,68 @@ def _parse_measure(query: str, tables: dict[str, PromptTable],
         if best_match:
             table, column = best_match[1]
             return Measure(kind="column", agg=agg, column=column, table=table)
+        # Derived-column aggregates ("the max year of ..."): measure the
+        # derivation of the schema's date column.
+        derived = re.search(rf"\b(?:{'|'.join(_DERIVED_NOUNS)})\b", lowered)
+        if derived:
+            date_col = _date_column(tables)
+            if date_col:
+                noun = derived.group(0).lower()
+                return Measure(kind="column", agg=agg,
+                               derive=_DERIVED_NOUNS[noun],
+                               source_column=date_col[1],
+                               table=date_col[0])
         date_col = _date_column(tables)
         if date_col and re.search(r"\b(date|inception)\b", lowered):
             return Measure(kind="column", agg=agg, column=date_col[1],
                            table=date_col[0])
     return None
+
+
+_MULTI_AGG_RE = re.compile(
+    rf"\b(?P<aggs>(?:{_AGG_ALTERNATION})"
+    rf"(?:\s*,\s*(?:the\s+)?(?:{_AGG_ALTERNATION}))*"
+    rf"\s*(?:,\s*)?and\s+(?:the\s+)?(?:{_AGG_ALTERNATION}))\s+"
+    rf"(?P<noun>[a-z_]+)(?P<date_tail>\s+dates?)?",
+    re.IGNORECASE)
+
+_AGG_WORD_RE = re.compile(rf"\b(?:{_AGG_ALTERNATION})\b", re.IGNORECASE)
+
+
+def _parse_measures(query: str, tables: dict[str, PromptTable],
+                    intent: QueryIntent) -> list[Measure]:
+    """All requested measures: the multi-measure list grammar, else the
+    single-measure grammar.
+
+    "the min, max and average year of ..." yields one :class:`Measure`
+    per aggregate over the shared target column (derived columns like
+    ``year`` included); a single aggregate degenerates to exactly the
+    measure :func:`_parse_measure` produces.
+    """
+    match = _MULTI_AGG_RE.search(query)
+    if match:
+        aggs = [_AGG_SURFACE[word.lower()]
+                for word in _AGG_WORD_RE.findall(match.group("aggs"))]
+        noun = match.group("noun").strip().lower()
+        measures: list[Measure] = []
+        if noun in _DERIVED_NOUNS:
+            date_col = _date_column(tables)
+            if date_col:
+                measures = [Measure(kind="column", agg=agg,
+                                    derive=_DERIVED_NOUNS[noun],
+                                    source_column=date_col[1],
+                                    table=date_col[0])
+                            for agg in aggs]
+        else:
+            located = resolve_noun(noun, tables)
+            if located:
+                measures = [Measure(kind="column", agg=agg,
+                                    column=located[1], table=located[0])
+                            for agg in aggs]
+        if len(measures) >= 2:
+            return measures
+    single = _parse_measure(query, tables, intent)
+    return [single] if single is not None else []
 
 
 _SUPERLATIVES = {
@@ -481,16 +708,27 @@ def _parse_superlative(query: str, tables: dict[str, PromptTable],
 
 
 def _parse_subject(query: str, tables: dict[str, PromptTable],
-                   ) -> tuple[str, str | None]:
+                   ) -> tuple[str, str | None, bool]:
+    """(subject noun, subject table, explicitly named?).
+
+    When several subject nouns appear ("points scored by players on
+    teams ..."), the one mentioned *earliest* is the head noun the query
+    is about.
+    """
     lowered = query.lower()
+    best: tuple[int, str, str] | None = None
     for noun, table in _SUBJECT_TABLES.items():
-        if re.search(rf"\b{noun}\b", lowered) and table in tables:
-            return noun, table
+        match = re.search(rf"\b{noun}\b", lowered)
+        if match and table in tables and (best is None
+                                          or match.start() < best[0]):
+            best = (match.start(), noun, table)
+    if best is not None:
+        return best[1], best[2], True
     # Default to the largest base table in the schema.
     if tables:
         biggest = max(tables.values(), key=lambda t: t.num_rows)
-        return biggest.name, biggest.name
-    return "", None
+        return biggest.name, biggest.name, False
+    return "", None, False
 
 
 def _parse_select_columns(query: str, tables: dict[str, PromptTable],
@@ -521,21 +759,22 @@ def parse_query(query: str, tables: dict[str, PromptTable]) -> QueryIntent:
     query = query.strip()
 
     intent = QueryIntent(query=query, output_kind="value")
-    intent.subject, intent.subject_table = _parse_subject(query, tables)
+    (intent.subject, intent.subject_table,
+     intent.subject_explicit) = _parse_subject(query, tables)
     intent.group_by = _parse_group(query, tables)
     intent.output_kind = _detect_output_kind(query,
                                              intent.group_by is not None)
     intent.filters = _parse_filters(query, tables, intent)
-    intent.measure = _parse_measure(query, tables, intent)
+    intent.measures = _parse_measures(query, tables, intent)
     intent.select_columns = _parse_select_columns(query, tables)
     intent.superlative = _parse_superlative(query, tables)
     intent.distinct = "distinct" in query.lower()
 
-    if (intent.measure is None and not intent.select_columns
+    if (not intent.measures and not intent.select_columns
             and intent.superlative is None):
         if intent.output_kind in ("plot", "table") and intent.group_by:
             # "Plot the paintings per movement" style: default to counting.
-            intent.measure = Measure(kind="count_rows", agg="count")
+            intent.measures = [Measure(kind="count_rows", agg="count")]
         else:
             raise LLMError(
                 f"the simulated model cannot derive an intent from "

@@ -1,9 +1,16 @@
-"""Physical operators: SQL, VisualQA, ImageSelect, TextQA, Python, Plot."""
+"""Physical operators: SQL, Join, VisualQA, ImageSelect, TextQA, Python, Plot.
+
+Importing this package registers every built-in operator into
+:data:`repro.operators.base.DEFAULT_REGISTRY` (each module calls
+:func:`~repro.operators.base.register_operator` at import time); custom
+operator sets start from ``DEFAULT_REGISTRY.copy()``.
+"""
 
 from repro.operators.base import (ExecutionContext, OperatorCard,
                                   OperatorResult, PhysicalOperator, all_cards,
                                   build_operator, operator_names,
                                   register_operator)
+from repro.operators.join import JoinOperator
 from repro.operators.plot import PlotOperator
 from repro.operators.python_udf import PythonOperator
 from repro.operators.sql_ops import SQLOperator
@@ -13,6 +20,7 @@ from repro.operators.visual_qa import ImageSelectOperator, VisualQAOperator
 __all__ = [
     "ExecutionContext",
     "ImageSelectOperator",
+    "JoinOperator",
     "OperatorCard",
     "OperatorResult",
     "PhysicalOperator",

@@ -13,14 +13,23 @@ Grammar (recursive descent)::
     comparison:= operand (cmp_op operand | IS [NOT] NULL
                   | [NOT] LIKE string | [NOT] IN '(' literal_list ')')?
     operand   := literal | column_ref | '(' or_expr ')'
+    literal   := number | string | bool | NULL | DATE string
     column_ref:= IDENT ('.' IDENT)?
+
+Typed date literals (``DATE '1880-01-01'``) evaluate to
+:class:`datetime.date` objects; comparisons coerce ISO-formatted strings
+(how the lake tables store dates) against them, so date-range predicates
+like ``inception BETWEEN DATE '1880-01-01' AND DATE '1895-12-31'`` work
+directly over string-typed date columns.  These are the same tagged date
+scalars the plan-IR serde layer carries.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from datetime import date
+from typing import Mapping
 
 from repro.errors import ExpressionError
 
@@ -122,9 +131,28 @@ class ColumnRef(Expr):
         return {self.bare_name}
 
 
+def _as_date(value: object) -> date | None:
+    """Coerce an ISO date string (or date) to ``date``; ``None`` on failure."""
+    if isinstance(value, date):
+        return value
+    if isinstance(value, str):
+        try:
+            return date.fromisoformat(value.strip())
+        except ValueError:
+            return None
+    return None
+
+
 def _compare(op: str, left: object, right: object) -> bool:
     if left is None or right is None:
         return False  # SQL three-valued logic, collapsed to False
+    # Typed date comparisons: when either side is a date, coerce the other
+    # side from its ISO string form (how lake tables store dates).
+    if isinstance(left, date) or isinstance(right, date):
+        left_date, right_date = _as_date(left), _as_date(right)
+        if left_date is None or right_date is None:
+            return False
+        left, right = left_date, right_date
     # Allow numeric comparison against numeric strings, as SQLite does.
     if isinstance(left, str) and isinstance(right, (int, float)):
         try:
@@ -373,7 +401,28 @@ class _Parser:
                     f"expected LIKE or IN after NOT in {self._source!r}")
         return left
 
+    def _date_literal(self) -> Expr | None:
+        """``DATE '<iso>'`` when the next tokens spell one, else ``None``."""
+        token = self._peek()
+        if (token is None or token.kind != "ident"
+                or token.value.lower() != "date"):
+            return None
+        following = (self._tokens[self._pos + 1]
+                     if self._pos + 1 < len(self._tokens) else None)
+        if following is None or following.kind != "string":
+            return None  # a column named 'date', not a literal
+        self._next()
+        text = _unquote(self._next().value)
+        try:
+            return Literal(date.fromisoformat(text.strip()))
+        except ValueError as exc:
+            raise ExpressionError(
+                f"invalid DATE literal {text!r} in {self._source!r}") from exc
+
     def _literal_value(self) -> object:
+        date_literal = self._date_literal()
+        if date_literal is not None:
+            return date_literal.value
         token = self._next()
         if token.kind == "number":
             return _parse_number(token.value)
@@ -385,6 +434,9 @@ class _Parser:
             f"expected literal but found {token.value!r} in {self._source!r}")
 
     def _operand(self) -> Expr:
+        date_literal = self._date_literal()
+        if date_literal is not None:
+            return date_literal
         token = self._peek()
         if token is None:
             raise ExpressionError(

@@ -41,11 +41,35 @@ def rename(table: Table, mapping: dict[str, str]) -> Table:
     return table.rename(mapping)
 
 
+def join_renames(left_columns: Sequence[str], right_columns: Sequence[str],
+                 left_on: str, right_on: str) -> dict[str, str]:
+    """Right-side rename map for an equi-join's name clashes.
+
+    Clashing right-side columns get a ``_right`` suffix, except a
+    same-name join key, which is merged into a single key column.  This is
+    the single naming rule shared by the native :func:`join` and the SQL
+    join statement builder (:func:`repro.relational.sqlexec.build_join_sql`),
+    so both execution paths produce identically-shaped tables.
+    """
+    renames: dict[str, str] = {}
+    for name in right_columns:
+        if name not in left_columns:
+            continue
+        if name == right_on and right_on == left_on:
+            continue  # merged into a single key column
+        renames[name] = f"{name}_right"
+    return renames
+
+
 def join(left: Table, right: Table, left_on: str, right_on: str,
          how: str = "inner") -> Table:
-    """Hash equi-join.  Right-side name clashes get a ``_right`` suffix.
+    """Hash equi-join, supporting cross-column keys (``team = name``).
 
-    ``how`` is ``"inner"`` or ``"left"``.
+    *left_on* / *right_on* name the key column on each side; they may
+    differ (a cross-column foreign key like ``players.team = teams.name``).
+    Right-side name clashes get a ``_right`` suffix (:func:`join_renames`);
+    modality columns (IMAGE / TEXT) survive untouched, exactly as in
+    Figure 4 of the paper.  ``how`` is ``"inner"`` or ``"left"``.
     """
     if how not in ("inner", "left"):
         raise SchemaError(f"unsupported join type {how!r}")
@@ -54,14 +78,8 @@ def join(left: Table, right: Table, left_on: str, right_on: str,
     if right_on not in right:
         raise UnknownColumnError(right_on, right.column_names)
 
-    # Rename clashing right-side columns (except the join key when equal).
-    clashes = {name for name in right.column_names
-               if name in left.column_names}
-    renames = {}
-    for name in clashes:
-        if name == right_on and right_on == left_on:
-            continue  # merged into a single key column
-        renames[name] = f"{name}_right"
+    renames = join_renames(left.column_names, right.column_names,
+                           left_on, right_on)
     renamed_right = right.rename(renames) if renames else right
     right_key = renames.get(right_on, right_on)
 

@@ -192,6 +192,40 @@ def _infer_sql_dtype(values: list[object]) -> DataType:
     return DataType.STRING
 
 
+def build_join_sql(left_name: str, right_name: str,
+                   left_on: str, right_on: str,
+                   left_columns: Sequence[str],
+                   right_columns: Sequence[str]) -> str:
+    """One SELECT implementing an equi-join with cross-column keys.
+
+    Produces exactly the shape of :func:`repro.relational.ops.join`:
+    left columns first, then right columns with clashes ``_right``-suffixed
+    (a same-name key is merged).  ``CROSS JOIN ... ON`` is used instead of
+    plain ``JOIN`` because SQLite treats them as semantic equivalents but
+    never reorders a CROSS JOIN — rows therefore come back in
+    left-row-major order, matching the native hash join, which keeps
+    results byte-identical whichever path executes the step.
+    """
+    from repro.relational.ops import join_renames
+
+    renames = join_renames(left_columns, right_columns, left_on, right_on)
+    select_parts = [f"{_quote_ident(left_name)}.{_quote_ident(name)}"
+                    for name in left_columns]
+    for name in right_columns:
+        if name == right_on and right_on == left_on:
+            continue  # merged into the single left-side key column
+        source = f"{_quote_ident(right_name)}.{_quote_ident(name)}"
+        if name in renames:
+            select_parts.append(f"{source} AS {_quote_ident(renames[name])}")
+        else:
+            select_parts.append(source)
+    return (f"SELECT {', '.join(select_parts)} "
+            f"FROM {_quote_ident(left_name)} "
+            f"CROSS JOIN {_quote_ident(right_name)} "
+            f"ON {_quote_ident(left_name)}.{_quote_ident(left_on)} = "
+            f"{_quote_ident(right_name)}.{_quote_ident(right_on)}")
+
+
 class SQLBridge:
     """A connection-lifetime sqlite bridge that memoizes registrations.
 

@@ -56,7 +56,12 @@ def validate_udf_source(source: str) -> ast.Module:
     :class:`SandboxViolationError` on any forbidden construct.
     """
     try:
-        tree = ast.parse(source)
+        # One interpreter-wide lock for every in-repo ast.parse: the AST
+        # constructor's recursion accounting is not thread-safe on 3.11
+        # (see repro.core.parsing.AST_LOCK).
+        from repro.core.parsing import AST_LOCK
+        with AST_LOCK:
+            tree = ast.parse(source)
     except SyntaxError as exc:
         raise SandboxViolationError(f"UDF source does not parse: {exc}") from exc
 

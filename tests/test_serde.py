@@ -38,6 +38,61 @@ def test_logical_plan_roundtrip():
     assert roundtrip(plan) == plan
 
 
+def test_step_params_roundtrip_with_tagged_dates():
+    """The params sidecar survives JSON with its typed date scalars."""
+    step = LogicalStep(
+        1, "Select only the rows of the 't' table where the 'inception' "
+           "column is between DATE '1880-01-01' and DATE '1895-12-31'.",
+        inputs=["t"], output="selected_table",
+        params={"column": "inception", "op": "between",
+                "low": datetime.date(1880, 1, 1),
+                "high": datetime.date(1895, 12, 31)})
+    back = roundtrip(step)
+    assert back == step
+    assert isinstance(back.params["low"], datetime.date)
+
+
+def test_step_params_roundtrip_nested_measures():
+    step = LogicalStep(
+        1, "Group the 't' table by 'movement' and compute the min of "
+           "'inception' and the max of 'inception' into the "
+           "'min_inception' and 'max_inception' columns.",
+        inputs=["t"], output="grouped_table",
+        new_columns=["min_inception", "max_inception"],
+        params={"by": "movement",
+                "measures": [
+                    {"agg": "min", "column": "inception",
+                     "output": "min_inception"},
+                    {"agg": "max", "column": "inception",
+                     "output": "max_inception"}]})
+    assert roundtrip(step) == step
+
+
+def test_step_without_params_stays_backward_compatible():
+    """Old serialized steps (no ``params`` key) still load, and empty
+    params keep the rendered plan byte-identical to the old format."""
+    data = {"index": 1, "description": "Count the rows.",
+            "inputs": ["t"], "output": "result", "new_columns": ["count"]}
+    step = LogicalStep.from_dict(data)
+    assert step.params == {}
+    assert "Params:" not in step.render()
+
+
+def test_rendered_plan_roundtrips_params():
+    """Params survive the render → parse_logical_plan text channel the
+    planner actually communicates through."""
+    from repro.core.parsing import parse_logical_plan
+    plan = LogicalPlan(
+        steps=[LogicalStep(
+            1, "Join the 'players' and 'teams' tables on the 'team' and "
+               "'name' columns.",
+            inputs=["players", "teams"], output="joined_table",
+            params={"left": "players", "right": "teams",
+                    "left_on": "team", "right_on": "name"})],
+        thought="join")
+    assert parse_logical_plan(plan.render()) == plan
+
+
 def test_trace_pieces_roundtrip():
     step = LogicalStep(1, "do it", inputs=["t"], output="out")
     physical = PhysicalStep(logical=step, operator="SQL",
