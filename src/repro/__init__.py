@@ -30,12 +30,15 @@ from repro.data.table import Table
 from repro.datasets import DATASET_NAMES, LakeSpec, load_lake
 from repro.exec import (ExecutionBackend, ProcessBackend, SerialBackend,
                         ThreadBackend, backend_names)
+from repro.obs import (CostModel, MetricsRegistry, QueryTelemetry,
+                       StageTrace, TelemetryConfig)
 from repro.plotting.spec import PlotSpec
 from repro.session import Session
 
 __all__ = [
     "AnswerCache",
     "BatchReport",
+    "CostModel",
     "DATASET_NAMES",
     "DataLake",
     "Engine",
@@ -47,6 +50,7 @@ __all__ = [
     "LogicalPlan",
     "LogicalStep",
     "Mapper",
+    "MetricsRegistry",
     "Observation",
     "PhysicalStep",
     "PlanCache",
@@ -58,10 +62,13 @@ __all__ = [
     "PromptPlanner",
     "QueryResult",
     "QueryStats",
+    "QueryTelemetry",
     "RegistryExecutor",
     "SerialBackend",
     "Session",
+    "StageTrace",
     "Table",
+    "TelemetryConfig",
     "ThreadBackend",
     "__version__",
     "backend_names",

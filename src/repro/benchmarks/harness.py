@@ -41,6 +41,7 @@ from repro.data.catalog import DataLake
 from repro.datasets import DATASET_NAMES, load_lake
 from repro.exec import backend_names
 from repro.llm.brain import SimulatedBrain
+from repro.obs import TelemetryConfig
 from repro.session import Session
 
 DEFAULT_WORKERS = (1, 2, 4)
@@ -69,6 +70,13 @@ class BenchConfig:
     llm_latency_ms: float | None = DEFAULT_LLM_LATENCY_MS
     plan_cache_size: int = 128
     output: str | None = DEFAULT_OUTPUT
+    #: span collection + cost accounting in the benchmarked sessions;
+    #: ``--no-telemetry`` turns it off (the CI overhead gate compares the
+    #: two states on one leg).
+    telemetry: bool = True
+    #: optional path for the per-point session metrics snapshots (the
+    #: JSON artifact CI uploads).
+    metrics_output: str | None = None
     quiet: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -140,7 +148,8 @@ def run_benchmark(config: BenchConfig, lake: DataLake | None = None,
             return Session(
                 lake,
                 brain=SimulatedBrain(latency_seconds=latency_ms / 1000.0),
-                plan_cache_size=config.plan_cache_size)
+                plan_cache_size=config.plan_cache_size,
+                telemetry=TelemetryConfig(enabled=config.telemetry))
 
     runs = []
     warm_reports: dict[tuple[str, int], BatchReport] = {}
@@ -152,6 +161,7 @@ def run_benchmark(config: BenchConfig, lake: DataLake | None = None,
                                      backend=backend)
                 warm = session.batch(queries, workers=workers,
                                      backend=backend)
+                metrics = session.metrics()
             finally:
                 # Shut worker lanes down between points so one curve's
                 # processes never sit on cores while the next measures.
@@ -160,13 +170,17 @@ def run_benchmark(config: BenchConfig, lake: DataLake | None = None,
             runs.append({"backend": backend,
                          "workers": workers,
                          "cold": cold.to_dict(),
-                         "warm": warm.to_dict()})
+                         "warm": warm.to_dict(),
+                         "metrics": metrics})
+            economics = warm.telemetry.cost_summary()
             _say(config,
                  f"{backend:>7s} x{workers}: "
                  f"cold {cold.queries_per_second:6.1f} q/s, "
                  f"warm {warm.queries_per_second:6.1f} q/s "
                  f"(plan hit {warm.cache_hit_rate:.0%}, "
                  f"answer hit {warm.answer_hit_rate:.0%}, "
+                 f"{economics['token_in'] + economics['token_out']} tok "
+                 f"${economics['cost_usd']:.4f}, "
                  f"{warm.num_errors} errors)")
 
     speedups: dict[str, dict[str, float]] = {}
@@ -202,6 +216,7 @@ def run_benchmark(config: BenchConfig, lake: DataLake | None = None,
         "unique_queries": len(set(queries)),
         "repeats": config.repeats,
         "llm_latency_ms": config.llm_latency_ms,
+        "telemetry": config.telemetry,
         "backends": list(config.backends),
         "runs": runs,
         "warm_speedup_vs_1_worker": speedups,
@@ -210,6 +225,16 @@ def run_benchmark(config: BenchConfig, lake: DataLake | None = None,
         path = Path(config.output)
         path.write_text(json.dumps(record, indent=2) + "\n",
                         encoding="utf-8")
+        _say(config, f"wrote {path}")
+    if config.metrics_output:
+        points = [{"backend": run["backend"], "workers": run["workers"],
+                   "metrics": run["metrics"]} for run in runs]
+        path = Path(config.metrics_output)
+        path.write_text(
+            json.dumps({"benchmark": "parallel_batch_metrics",
+                        "dataset": config.dataset, "points": points},
+                       indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
         _say(config, f"wrote {path}")
     return record
 
@@ -247,6 +272,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              f"{DEFAULT_LLM_LATENCY_MS:g}; 0 disables)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="disable span collection and cost accounting "
+                             "in the benchmarked sessions (measures the "
+                             "tracing overhead when compared against a "
+                             "default run)")
+    parser.add_argument("--metrics-output", metavar="PATH", default=None,
+                        help="also write the per-point session metrics "
+                             "snapshots to this JSON file")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress lines")
     return parser
@@ -273,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
         repeats=args.repeats,
         llm_latency_ms=args.llm_latency_ms,
         output=args.output,
+        telemetry=not args.no_telemetry,
+        metrics_output=args.metrics_output,
         quiet=args.quiet,
     )
     record = run_benchmark(config)

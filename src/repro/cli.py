@@ -21,6 +21,7 @@ keeps working but emits a :class:`DeprecationWarning`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import warnings
 from pathlib import Path
@@ -69,7 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_lake_arguments(query)
     query.add_argument("query", help="the natural-language query")
     query.add_argument("--trace", action="store_true",
-                       help="print the physical plan and per-phase timings")
+                       help="print the stage/operator span tree (durations, "
+                            "tokens, cost), the physical plan, and "
+                            "per-phase timings")
 
     batch = subparsers.add_parser(
         "batch", help="run a file of queries (one per line)")
@@ -87,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution backend (default: serial at "
                             "--workers 1, thread above; process runs "
                             "GIL-free worker processes)")
+    batch.add_argument("--metrics-file", metavar="PATH", default=None,
+                       help="write the session metrics snapshot (counters, "
+                            "latency histograms, derived rates) to this "
+                            "JSON file after the batch")
 
     subparsers.add_parser(
         "bench", add_help=False,
@@ -140,6 +147,8 @@ def _print_result(result: QueryResult, trace: bool) -> None:
     elif result.kind == "plot" and result.plot is not None:
         print(render_plot(result.plot))
     if trace and result.trace is not None:
+        print()
+        print(result.telemetry.render_tree())
         print()
         print(f"replans: {result.trace.replans}, "
               f"errors: {len(result.trace.errors)}")
@@ -197,6 +206,11 @@ def _run_batch(args: argparse.Namespace, path: str) -> int:
     report = session.batch(queries, workers=args.workers,
                            backend=getattr(args, "backend", None))
     print(report.render())
+    metrics_file = getattr(args, "metrics_file", None)
+    if metrics_file:
+        Path(metrics_file).write_text(
+            json.dumps(session.metrics(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
     _finish(session, args)
     return 0 if report.num_errors == 0 else 1
 

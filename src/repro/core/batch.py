@@ -48,6 +48,7 @@ from repro.core.engine import Engine, EngineConfig
 from repro.core.plan import LogicalPlan, QueryResult
 from repro.data.catalog import DataLake
 from repro.llm.interface import LanguageModel
+from repro.obs.trace import QueryTelemetry
 
 _STAGES = ("discovery", "planning", "mapping", "execution")
 
@@ -186,25 +187,61 @@ class PlanCache:
 
 @dataclass
 class QueryStats:
-    """Per-query line of a batch report."""
+    """Per-query line of a batch report.
+
+    Timing and cache locality live in the telemetry-derived fields
+    ``plan_cache_hit`` / ``total_seconds`` plus the token/cost columns;
+    the pre-telemetry spellings ``cache_hit`` and ``seconds`` survive as
+    deprecated read-only properties.
+    """
 
     query: str
     kind: str
     ok: bool
-    cache_hit: bool
+    plan_cache_hit: bool
     steps: int
-    seconds: float
+    total_seconds: float
+    token_in: int = 0
+    token_out: int = 0
+    cost_usd: float = 0.0
+
+    @property
+    def cache_hit(self) -> bool:
+        warnings.warn(
+            "QueryStats.cache_hit is deprecated; use "
+            "stat.plan_cache_hit", DeprecationWarning, stacklevel=2)
+        return self.plan_cache_hit
+
+    @property
+    def seconds(self) -> float:
+        warnings.warn(
+            "QueryStats.seconds is deprecated; use "
+            "stat.total_seconds", DeprecationWarning, stacklevel=2)
+        return self.total_seconds
 
     def to_dict(self) -> dict:
+        # Both spellings are written so pre-telemetry readers of archived
+        # reports keep working; from_dict prefers the new keys.
         return {"query": self.query, "kind": self.kind, "ok": self.ok,
-                "cache_hit": self.cache_hit, "steps": self.steps,
-                "seconds": self.seconds}
+                "plan_cache_hit": self.plan_cache_hit,
+                "cache_hit": self.plan_cache_hit,
+                "steps": self.steps,
+                "total_seconds": self.total_seconds,
+                "seconds": self.total_seconds,
+                "token_in": self.token_in, "token_out": self.token_out,
+                "cost_usd": self.cost_usd}
 
     @classmethod
     def from_dict(cls, data: dict) -> "QueryStats":
         return cls(query=data["query"], kind=data["kind"], ok=data["ok"],
-                   cache_hit=data["cache_hit"], steps=data["steps"],
-                   seconds=data["seconds"])
+                   plan_cache_hit=data.get("plan_cache_hit",
+                                           data.get("cache_hit", False)),
+                   steps=data["steps"],
+                   total_seconds=data.get("total_seconds",
+                                          data.get("seconds", 0.0)),
+                   token_in=data.get("token_in", 0),
+                   token_out=data.get("token_out", 0),
+                   cost_usd=data.get("cost_usd", 0.0))
 
 
 @dataclass
@@ -270,6 +307,22 @@ class BatchReport:
         return (self.wall_seconds / self.elapsed_seconds
                 if self.elapsed_seconds > 0 else 0.0)
 
+    @property
+    def telemetry(self) -> QueryTelemetry:
+        """Batch-wide telemetry: every result's spans and summed counters."""
+        merged = QueryTelemetry()
+        for result in self.results:
+            merged = merged.merged(result.telemetry)
+        return merged
+
+    @property
+    def worker_failures(self) -> list:
+        """Every worker-lane :class:`~repro.core.plan.ErrorEvent` in the
+        batch (process backend crashes/timeouts), in submission order."""
+        return [event for result in self.results
+                if result.trace is not None
+                for event in result.trace.errors if event.phase == "worker"]
+
     def to_dict(self, include_results: bool = False) -> dict:
         """JSON-ready encoding.
 
@@ -305,6 +358,7 @@ class BatchReport:
                 "evictions": self.answer_evictions,
                 "hit_rate": round(self.answer_hit_rate, 4),
             },
+            "telemetry": self.telemetry.cost_summary(),
         }
         if include_results:
             record["exact"] = {
@@ -321,11 +375,13 @@ class BatchReport:
 
         Serial, thread, and process backends must produce identical
         results for the same workload; the only legitimately divergent
-        fields are wall-clock timings and the plan-cache locality flag
-        (a thread race or a worker-local cache can turn a hit into a miss
-        without changing the answer).  This returns each result's
-        ``to_dict()`` with those two fields blanked, so two reports agree
-        iff ``json.dumps`` of their canonical results is byte-identical.
+        fields are wall-clock timings and cache locality (a thread race
+        or a worker-local cache can turn a hit into a miss without
+        changing the answer).  This returns each result's ``to_dict()``
+        with timings blanked, the plan-cache flag cleared, and the
+        telemetry payload normalized via :meth:`~repro.obs.QueryTelemetry.
+        canonicalize`, so two reports agree iff ``json.dumps`` of their
+        canonical results is byte-identical.
         """
         payloads = []
         for result in self.results:
@@ -334,6 +390,9 @@ class BatchReport:
             if trace is not None:
                 trace["timings"] = {}
                 trace["plan_cache_hit"] = False
+                if "telemetry" in trace:
+                    trace["telemetry"] = QueryTelemetry.canonicalize(
+                        trace["telemetry"])
             payloads.append(data)
         return payloads
 
@@ -364,6 +423,7 @@ class BatchReport:
 
     def render(self) -> str:
         """Plain-text report for the CLI."""
+        economics = self.telemetry.cost_summary()
         lines = [
             f"batch: {self.num_queries} queries "
             f"({self.num_ok} ok, {self.num_errors} errors), "
@@ -379,6 +439,9 @@ class BatchReport:
             f"answer cache: {self.answer_hits} hits, {self.answer_misses} "
             f"misses, {self.answer_evictions} evictions "
             f"(hit rate {self.answer_hit_rate:.0%})",
+            f"llm traffic: {economics['token_in']} tokens in, "
+            f"{economics['token_out']} tokens out, "
+            f"${economics['cost_usd']:.6f} estimated",
             "per-stage wall clock (serial-equivalent):",
         ]
         for stage in _STAGES:
@@ -386,13 +449,24 @@ class BatchReport:
             share = (seconds / self.wall_seconds
                      if self.wall_seconds > 0 else 0.0)
             lines.append(f"  {stage:<10s} {seconds:8.3f}s  ({share:.0%})")
+        failures = self.worker_failures
+        if failures:
+            lines.append("worker failures:")
+            for event in failures:
+                lane = ("?" if event.worker_id is None
+                        else str(event.worker_id))
+                state = ("recovered in parent" if event.recovered
+                         else "unrecovered")
+                lines.append(f"  [lane {lane}] {state}: {event.message}")
         lines.append("queries:")
         for stat in self.stats:
             marker = "ok " if stat.ok else "ERR"
-            cached = "cached plan" if stat.cache_hit else "fresh plan"
+            cached = "cached plan" if stat.plan_cache_hit else "fresh plan"
             lines.append(
                 f"  [{marker}] {stat.kind:<5s} {stat.steps:2d} steps "
-                f"{stat.seconds:7.3f}s  {cached}  {stat.query}")
+                f"{stat.total_seconds:7.3f}s  "
+                f"{stat.token_in + stat.token_out:5d} tok  "
+                f"{cached}  {stat.query}")
         return "\n".join(lines)
 
 
@@ -405,11 +479,14 @@ def _fold_result(report: BatchReport, query: str,
         report.timings[stage] = (report.timings.get(stage, 0.0)
                                  + timings.get(stage, 0.0))
     report.wall_seconds += timings.get("total", 0.0)
+    telemetry = result.telemetry
     report.stats.append(QueryStats(
         query=query, kind=result.kind, ok=result.ok,
-        cache_hit=trace.plan_cache_hit if trace is not None else False,
+        plan_cache_hit=telemetry.plan_cache_hit,
         steps=len(trace.physical_steps) if trace else 0,
-        seconds=timings.get("total", 0.0)))
+        total_seconds=timings.get("total", 0.0),
+        token_in=telemetry.token_in, token_out=telemetry.token_out,
+        cost_usd=telemetry.cost_usd))
     report.results.append(result)
 
 

@@ -49,6 +49,8 @@ from repro.data.table import Table
 from repro.errors import ReproError
 from repro.llm.brain import SimulatedBrain
 from repro.llm.interface import LanguageModel, Transcript
+from repro.obs import (MetricsRegistry, StageTrace, TelemetryConfig,
+                       resolve_cost_model)
 from repro.operators.base import ExecutionContext
 from repro.plotting.spec import PlotSpec
 from repro.relational.sqlexec import SQLBridge
@@ -88,7 +90,9 @@ class Engine:
                  planner: Planner | None = None,
                  mapper: Mapper | None = None,
                  executor: Executor | None = None,
-                 plan_cache=None, answer_cache=None):
+                 plan_cache=None, answer_cache=None,
+                 metrics: MetricsRegistry | None = None,
+                 telemetry: TelemetryConfig | None = None):
         self.lake = lake
         if model is None and (planner is None or mapper is None):
             model = SimulatedBrain()
@@ -111,6 +115,12 @@ class Engine:
         #: registration copy dominated warm batches on 10k-row lakes).
         self.sql_bridge = SQLBridge()
         self.last_transcript = Transcript()
+        #: optional session-level :class:`~repro.obs.MetricsRegistry`;
+        #: every finished query records counters and latencies into it.
+        self.metrics = metrics
+        self.telemetry_config = telemetry or TelemetryConfig()
+        self.cost_model = resolve_cost_model(
+            model, override=self.telemetry_config.cost_model)
 
     # ------------------------------------------------------------------
     # Public API
@@ -126,6 +136,7 @@ class Engine:
             result = self._answer(query, trace, transcript)
         finally:
             self._tick(trace, "total", started)
+        self._record_metrics(trace, result.ok)
         return result
 
     @property
@@ -158,7 +169,7 @@ class Engine:
                 trace.errors.append(ErrorEvent("planning", None, str(exc)))
                 return QueryResult(kind="error", error=str(exc), trace=trace)
             trace.logical_plan = plan
-            trace.plan_cache_hit = from_cache
+            trace.telemetry.mark_plan_cache(from_cache)
             trace.physical_steps = []
             trace.observations = []
             outcome = self._run_plan(query, plan, hints, trace, transcript)
@@ -180,6 +191,7 @@ class Engine:
     def _discover(self, query: str, trace: PlanTrace,
                   transcript: Transcript) -> list[ColumnHint]:
         started = time.perf_counter()
+        mark = len(transcript.entries)
         try:
             return self.planner.discover(self.lake, query, transcript)
         except ReproError as exc:
@@ -188,11 +200,13 @@ class Engine:
             return []
         finally:
             self._tick(trace, "discovery", started)
+            self._span(trace, transcript, "discovery", started, mark)
 
     def _plan(self, query: str, hints: list[ColumnHint], trace: PlanTrace,
               transcript: Transcript,
               error_feedback: str = "") -> tuple[LogicalPlan, bool]:
         started = time.perf_counter()
+        mark = len(transcript.entries)
         try:
             # A replan must not reuse the plan that just failed: bypass the
             # cache whenever error feedback is present.
@@ -206,6 +220,7 @@ class Engine:
             return plan, False
         finally:
             self._tick(trace, "planning", started)
+            self._span(trace, transcript, "planning", started, mark)
 
     def _run_plan(self, query: str, plan: LogicalPlan,
                   hints: list[ColumnHint], trace: PlanTrace,
@@ -214,7 +229,8 @@ class Engine:
             tables={name: self.lake.table(name)
                     for name in self.lake.source_names},
             answer_cache=self.answer_cache,
-            sql_bridge=self.sql_bridge)
+            sql_bridge=self.sql_bridge,
+            telemetry=trace.telemetry)
         cards = self.executor.cards()
         observations: list[str] = []
         last_table: Table | None = None
@@ -227,17 +243,24 @@ class Engine:
             for _attempt in range(self.config.max_step_retries + 1):
                 phase = "mapping"
                 started = time.perf_counter()
+                mark = len(transcript.entries)
                 try:
                     window = observations[-self.config.max_observations:]
                     decision = self.mapper.map_step(
                         context.tables, cards, step, hints, window,
                         transcript, error_feedback=feedback)
                     self._tick(trace, "mapping", started)
+                    self._span(trace, transcript, "mapping", started, mark,
+                               step_index=step.index)
                     phase = "execution"
                     started = time.perf_counter()
+                    mark = len(transcript.entries)
                     execution = self.executor.execute(decision, context)
                     result = execution.result
                     self._tick(trace, "execution", started)
+                    self._span(trace, transcript,
+                               f"operator:{execution.operator}", started,
+                               mark, step_index=step.index)
                 except ReproError as exc:
                     self._tick(trace, phase, started)
                     event = ErrorEvent(phase, step.index, str(exc))
@@ -245,6 +268,11 @@ class Engine:
                     step_events.append(event)
                     analysis = self.planner.analyze_error(query, plan, step,
                                                           exc, transcript)
+                    # The span of a failed attempt covers the error-analysis
+                    # prompt too — those tokens were spent on this attempt.
+                    self._span(trace, transcript, phase, started, mark,
+                               step_index=step.index,
+                               notes={"error": str(exc)[:200]})
                     if analysis is not None and analysis.backtrack_to_planning:
                         return _StepFailure(event, should_replan=True)
                     feedback = str(exc)
@@ -294,6 +322,53 @@ class Engine:
     def _tick(trace: PlanTrace, phase: str, started: float) -> None:
         elapsed = time.perf_counter() - started
         trace.timings[phase] = trace.timings.get(phase, 0.0) + elapsed
+
+    def _span(self, trace: PlanTrace, transcript: Transcript, stage: str,
+              started: float, mark: int, step_index: int | None = None,
+              notes: dict | None = None) -> None:
+        """Emit one :class:`~repro.obs.StageTrace` onto the query telemetry.
+
+        Token traffic is attributed by transcript window: *mark* is the
+        transcript length when the stage began, so every prompt/response
+        recorded since then belongs to this span.
+        """
+        if not self.telemetry_config.enabled:
+            return
+        token_in = token_out = 0
+        for entry in transcript.entries[mark:]:
+            t_in, t_out = self.cost_model.usage(entry.messages,
+                                                entry.response)
+            token_in += t_in
+            token_out += t_out
+        trace.telemetry.add_span(StageTrace(
+            stage=stage,
+            duration_ms=(time.perf_counter() - started) * 1000.0,
+            token_in=token_in, token_out=token_out,
+            cost_usd=self.cost_model.cost_usd(token_in, token_out),
+            step_index=step_index, notes=dict(notes or {})))
+
+    def _record_metrics(self, trace: PlanTrace, ok: bool) -> None:
+        """Fold one finished query into the session metrics registry."""
+        if self.metrics is None:
+            return
+        metrics = self.metrics
+        metrics.increment("queries_total")
+        metrics.increment("queries_ok" if ok else "queries_error")
+        telemetry = trace.telemetry
+        for name in ("plan_cache_hits", "plan_cache_misses",
+                     "answer_cache_hits", "answer_cache_misses"):
+            value = telemetry.counters.get(name)
+            if value:
+                metrics.increment(name, value)
+        if trace.replans:
+            metrics.increment("replans_total", trace.replans)
+        if telemetry.spans:
+            metrics.increment("spans_total", len(telemetry.spans))
+            metrics.increment("token_in_total", telemetry.token_in)
+            metrics.increment("token_out_total", telemetry.token_out)
+            metrics.increment("cost_usd_total", telemetry.cost_usd)
+        for phase, seconds in trace.timings.items():
+            metrics.observe(f"latency_{phase}", seconds)
 
 
 class QueryEngine(Engine):

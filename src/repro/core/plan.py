@@ -15,12 +15,14 @@ persistence, process workers, result archives).
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 
 import networkx as nx
 
 from repro.data.datatypes import decode_scalar, encode_scalar
 from repro.data.table import Table
+from repro.obs.trace import QueryTelemetry
 from repro.plotting.spec import PlotSpec
 
 
@@ -213,23 +215,28 @@ class ErrorEvent:
     step_index: int | None
     message: str
     recovered: bool = False
+    #: for ``phase="worker"`` events: the index of the process-backend
+    #: lane the failure originated on (``None`` for engine-phase events).
+    worker_id: int | None = None
 
     @classmethod
-    def worker_failure(cls, message: str,
-                       recovered: bool = False) -> "ErrorEvent":
+    def worker_failure(cls, message: str, recovered: bool = False,
+                       worker_id: int | None = None) -> "ErrorEvent":
         """A worker-crash/timeout event (process backend trace entry)."""
         return cls(phase="worker", step_index=None, message=message,
-                   recovered=recovered)
+                   recovered=recovered, worker_id=worker_id)
 
     def to_dict(self) -> dict:
         return {"phase": self.phase, "step_index": self.step_index,
-                "message": self.message, "recovered": self.recovered}
+                "message": self.message, "recovered": self.recovered,
+                "worker_id": self.worker_id}
 
     @classmethod
     def from_dict(cls, data: dict) -> "ErrorEvent":
         return cls(phase=data["phase"], step_index=data.get("step_index"),
                    message=data["message"],
-                   recovered=data.get("recovered", False))
+                   recovered=data.get("recovered", False),
+                   worker_id=data.get("worker_id"))
 
 
 @dataclass
@@ -245,10 +252,27 @@ class PlanTrace:
     #: wall-clock seconds per phase ("discovery" / "planning" / "mapping" /
     #: "execution" / "total"), filled in by the engine.
     timings: dict[str, float] = field(default_factory=dict)
-    #: True when the logical plan was served from the engine's plan cache
-    #: (batch runners aggregate this instead of diffing cache counters,
-    #: which would race under concurrent execution).
-    plan_cache_hit: bool = False
+    #: per-query spans and counters (:mod:`repro.obs`): one span per
+    #: stage and per executed operator, plus cache-locality counters —
+    #: the canonical home of what used to be scattered ad-hoc fields.
+    telemetry: QueryTelemetry = field(default_factory=QueryTelemetry)
+
+    @property
+    def plan_cache_hit(self) -> bool:
+        """Deprecated — use ``trace.telemetry.plan_cache_hit``."""
+        warnings.warn(
+            "PlanTrace.plan_cache_hit is deprecated; use "
+            "trace.telemetry.plan_cache_hit",
+            DeprecationWarning, stacklevel=2)
+        return self.telemetry.plan_cache_hit
+
+    @plan_cache_hit.setter
+    def plan_cache_hit(self, hit: bool) -> None:
+        warnings.warn(
+            "PlanTrace.plan_cache_hit is deprecated; use "
+            "trace.telemetry.mark_plan_cache(hit)",
+            DeprecationWarning, stacklevel=2)
+        self.telemetry.counters["plan_from_cache"] = 1 if hit else 0
 
     @property
     def crashed(self) -> bool:
@@ -267,12 +291,24 @@ class PlanTrace:
             "errors": [e.to_dict() for e in self.errors],
             "replans": self.replans,
             "timings": dict(self.timings),
-            "plan_cache_hit": self.plan_cache_hit,
+            # kept for pre-telemetry consumers of the trace payload; the
+            # canonical encoding is telemetry.counters["plan_from_cache"].
+            "plan_cache_hit": self.telemetry.plan_cache_hit,
+            "telemetry": self.telemetry.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "PlanTrace":
         plan = data.get("logical_plan")
+        telemetry_data = data.get("telemetry")
+        if telemetry_data is not None:
+            telemetry = QueryTelemetry.from_dict(telemetry_data)
+        else:
+            # Pre-telemetry payload (old cache/result files): rebuild the
+            # counters the old scalar field encoded.
+            telemetry = QueryTelemetry()
+            if data.get("plan_cache_hit", False):
+                telemetry.counters["plan_from_cache"] = 1
         return cls(
             query=data["query"],
             logical_plan=(LogicalPlan.from_dict(plan)
@@ -284,7 +320,7 @@ class PlanTrace:
             errors=[ErrorEvent.from_dict(e) for e in data.get("errors", [])],
             replans=data.get("replans", 0),
             timings=dict(data.get("timings", {})),
-            plan_cache_hit=data.get("plan_cache_hit", False))
+            telemetry=telemetry)
 
 
 @dataclass
@@ -301,6 +337,18 @@ class QueryResult:
     @property
     def ok(self) -> bool:
         return self.kind != "error"
+
+    @property
+    def telemetry(self) -> QueryTelemetry:
+        """Spans, counters, and cost of answering this query.
+
+        The one accessor for what used to be scattered across
+        ``trace.timings`` and ad-hoc flags; an empty container when the
+        result carries no trace (e.g. a synthetic error result).
+        """
+        if self.trace is None:
+            return QueryTelemetry()
+        return self.trace.telemetry
 
     def describe(self) -> str:
         if self.kind == "value":

@@ -257,6 +257,7 @@ class ProcessBackend(ExecutionBackend):
             "answer_cache_capacity": session.answer_cache.capacity,
             "plans": plans,
             "answers": answers,
+            "telemetry": session.telemetry,
         }
 
     def _collect(self, session: "Session", task: _Task,
@@ -269,7 +270,8 @@ class ProcessBackend(ExecutionBackend):
             task.lane.kill()
             event = ErrorEvent.worker_failure(
                 f"worker query timed out after {self.timeout:g}s "
-                f"(lane {task.lane.index}); lane killed")
+                f"(lane {task.lane.index}); lane killed",
+                worker_id=task.lane.index)
             return self._fallback(session, task.query, event)
         except Exception as exc:  # noqa: BLE001 - BrokenProcessPool et al.
             # A broken pool also poisons every later future on the lane;
@@ -277,7 +279,8 @@ class ProcessBackend(ExecutionBackend):
             task.lane.kill()
             event = ErrorEvent.worker_failure(
                 f"worker crashed (lane {task.lane.index}): "
-                f"{type(exc).__name__}: {exc}")
+                f"{type(exc).__name__}: {exc}",
+                worker_id=task.lane.index)
             return self._fallback(session, task.query, event)
 
         for target, delta in ((worker_plan_delta, payload["plan_delta"]),
@@ -285,12 +288,14 @@ class ProcessBackend(ExecutionBackend):
                                payload["answer_delta"])):
             for i, value in enumerate(delta):
                 target[i] += value
+        session.metrics_registry.merge_delta(payload.get("metrics_delta"))
         if not payload["ok"]:
             # The engine crashed inside the worker but the process (and
             # pool) survived; re-run in the parent for a full trace.
             event = ErrorEvent.worker_failure(
                 f"worker query crashed (lane {task.lane.index}): "
-                f"{payload['error']}")
+                f"{payload['error']}",
+                worker_id=task.lane.index)
             return self._fallback(session, task.query, event)
 
         result = QueryResult.from_dict(payload["result"])
@@ -314,6 +319,7 @@ class ProcessBackend(ExecutionBackend):
     def _fallback(self, session: "Session", query: str,
                   event: ErrorEvent) -> QueryResult:
         """Re-run *query* in the parent, guarding against a second crash."""
+        session.metrics_registry.increment("worker_failures_total")
         engine = session.engine_pool(1)[0]
         try:
             result = engine.query(query)

@@ -29,6 +29,7 @@ from repro.core.engine import Engine
 from repro.core.plan import LogicalPlan
 from repro.data.datatypes import decode_scalar, encode_scalar
 from repro.datasets import LakeSpec
+from repro.obs import MetricsRegistry
 
 #: per-process engine state, populated by :func:`initialize_worker`.
 _STATE: dict[str, object] = {}
@@ -92,12 +93,18 @@ def initialize_worker(payload: dict) -> None:
         answer_cache.put((fingerprint_, question, answer_type),
                          decode_scalar(answer))
     answer_cache.journal = []  # seeding is not fresh inference
+    # Worker-local registry: per-query deltas ship back over the pipe
+    # (run_worker_query) and the parent folds them into the session
+    # registry, so session.metrics() stays complete under this backend.
+    metrics = MetricsRegistry()
     engine = Engine(lake, model=payload["brain"], config=payload["config"],
                     planner=payload["planner"], mapper=payload["mapper"],
                     executor=payload["executor"], plan_cache=plan_cache,
-                    answer_cache=answer_cache)
+                    answer_cache=answer_cache, metrics=metrics,
+                    telemetry=payload.get("telemetry"))
     _STATE.update(engine=engine, plan_cache=plan_cache,
-                  answer_cache=answer_cache, fingerprint=expected)
+                  answer_cache=answer_cache, metrics=metrics,
+                  fingerprint=expected)
 
 
 def _cache_deltas(before_plan: tuple[int, int, int],
@@ -125,21 +132,26 @@ def run_worker_query(query: str) -> dict:
     """
     engine: Engine = _STATE["engine"]
     answer_cache: _JournalingAnswerCache = _STATE["answer_cache"]
+    metrics: MetricsRegistry = _STATE["metrics"]
     answer_cache.journal = []
     before_plan = _STATE["plan_cache"].snapshot()
     before_answer = answer_cache.snapshot()
+    before_metrics = metrics.raw_state()
     try:
         result = engine.query(query)
     except Exception as exc:  # noqa: BLE001 - crash containment boundary
         payload = {"ok": False,
                    "error": f"{type(exc).__name__}: {exc}",
-                   "traceback": traceback.format_exc(limit=8)}
+                   "traceback": traceback.format_exc(limit=8),
+                   "metrics_delta": metrics.delta_since(before_metrics)}
         payload.update(_cache_deltas(before_plan, before_answer))
         return payload
     payload = {"ok": True, "result": result.to_dict(), "fresh_plan": None,
-               "fresh_answers": answer_cache.drain()}
+               "fresh_answers": answer_cache.drain(),
+               "metrics_delta": metrics.delta_since(before_metrics)}
     trace = result.trace
-    if (result.ok and trace is not None and not trace.plan_cache_hit
+    if (result.ok and trace is not None
+            and not trace.telemetry.plan_cache_hit
             and trace.logical_plan is not None):
         payload["fresh_plan"] = trace.logical_plan.to_dict()
     payload.update(_cache_deltas(before_plan, before_answer))

@@ -36,6 +36,7 @@ from repro.core.prompts import (DISCOVERY_MARKER, ERROR_MARKER,
                                 MAPPING_MARKER, PLANNING_MARKER)
 from repro.errors import LLMError
 from repro.llm.interface import ChatMessage
+from repro.obs.cost import DEFAULT_COST_MODEL
 from repro.llm.nl import (DepictsFilter, QueryIntent, RelationalFilter,
                           parse_query)
 
@@ -1128,6 +1129,11 @@ class SimulatedBrain:
     """
 
     name = "simulated-brain"
+
+    #: the :class:`~repro.llm.interface.LanguageModel` cost hook — the
+    #: engine prices this brain's traffic with the default deterministic
+    #: char-based estimator, exactly as a real brain would declare its own.
+    cost_model = DEFAULT_COST_MODEL
 
     def __init__(self, latency_seconds: float = 0.0):
         if latency_seconds < 0:

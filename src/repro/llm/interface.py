@@ -43,7 +43,18 @@ def ai(content: str) -> ChatMessage:
 
 @runtime_checkable
 class LanguageModel(Protocol):
-    """The minimal LLM contract CAESURA depends on."""
+    """The minimal LLM contract CAESURA depends on.
+
+    Cost hook: a model *may* additionally expose a ``cost_model``
+    attribute (a :class:`~repro.obs.CostModel`) describing its token
+    estimation and pricing; the engine picks it up via
+    :func:`~repro.obs.resolve_cost_model`, so a simulated brain and a
+    real remote model both report tokens and dollars per plan.  It is
+    deliberately not part of the Protocol: the Protocol is
+    ``runtime_checkable``, and widening it would break ``isinstance``
+    checks against existing third-party models — absent hooks fall back
+    to :data:`~repro.obs.DEFAULT_COST_MODEL`.
+    """
 
     name: str
 

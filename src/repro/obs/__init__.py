@@ -1,0 +1,36 @@
+"""Observability: trace spans, metrics, and cost accounting.
+
+The three pieces the ROADMAP's "observability + real-LLM cost
+accounting" item names, built as one subsystem:
+
+- :class:`StageTrace` / :class:`QueryTelemetry`
+  (:mod:`repro.obs.trace`) — per-query spans with durations, token
+  traffic, and dollar cost, stored on the plan IR so they ride every
+  serde path (cache files, process lanes, result archives);
+- :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — session-level
+  counters and latency histograms with a deterministic snapshot API
+  (``session.metrics()``) and a delta protocol for process-lane merging;
+- :class:`CostModel` (:mod:`repro.obs.cost`) — deterministic token
+  estimation and pricing, attached to language models via their
+  ``cost_model`` attribute and overridable per session through
+  :class:`TelemetryConfig`.
+"""
+
+from repro.obs.config import TelemetryConfig
+from repro.obs.cost import (DEFAULT_COST_MODEL, CostModel,
+                            resolve_cost_model)
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.trace import (LOCALITY_COUNTERS, QueryTelemetry,
+                             StageTrace)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "LATENCY_BUCKETS",
+    "LOCALITY_COUNTERS",
+    "MetricsRegistry",
+    "QueryTelemetry",
+    "StageTrace",
+    "TelemetryConfig",
+    "resolve_cost_model",
+]

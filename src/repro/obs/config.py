@@ -1,0 +1,25 @@
+"""Session-level telemetry configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.cost import CostModel
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """How a :class:`~repro.session.Session` collects telemetry.
+
+    *enabled* gates span collection and token/cost accounting (the parts
+    with measurable overhead — the CI tracing-overhead gate benchmarks
+    enabled against disabled); cache-locality counters and the metrics
+    registry always run, they are a handful of integer increments.
+
+    *cost_model* overrides the :class:`~repro.obs.cost.CostModel`
+    resolved from the language model's own ``cost_model`` attribute;
+    ``None`` keeps the model's (or the default).
+    """
+
+    enabled: bool = True
+    cost_model: CostModel | None = None

@@ -1,0 +1,108 @@
+"""Token and dollar accounting for LLM calls.
+
+A real deployment pays per token; the reproduction must report the same
+economics so the ROADMAP's real-LLM comparison has a baseline.  The
+:class:`CostModel` estimates token counts from rendered prompt text with
+a deterministic characters-per-token heuristic (the same estimate OpenAI
+documents as a rule of thumb), prices them with per-1k-token rates, and
+is attached to a :class:`~repro.llm.interface.LanguageModel` as its
+``cost_model`` attribute — :class:`~repro.llm.brain.SimulatedBrain`
+carries the default one, and a future real brain can substitute exact
+usage numbers by shipping its own subclass.
+
+Determinism matters more than realism here: the same query must produce
+the same token counts and dollars on every backend and every run, so the
+telemetry parity contract (serial == thread == process) can cover cost
+totals byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.llm.interface import ChatMessage
+
+#: Decimal places kept on every dollar figure; fixed so cost totals
+#: serialize identically wherever they are computed.
+COST_DECIMALS = 8
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Deterministic token estimation and pricing for one model.
+
+    *chars_per_token* is the estimation heuristic (4 chars/token is the
+    common English-text rule of thumb); *usd_per_1k_input* /
+    *usd_per_1k_output* are the prices applied to prompt and completion
+    tokens respectively.  The defaults mirror a GPT-4-class endpoint.
+    """
+
+    name: str = "char-estimate"
+    usd_per_1k_input: float = 0.03
+    usd_per_1k_output: float = 0.06
+    chars_per_token: int = 4
+
+    def __post_init__(self) -> None:
+        if self.chars_per_token <= 0:
+            raise ValueError(f"chars_per_token must be positive, got "
+                             f"{self.chars_per_token}")
+        if self.usd_per_1k_input < 0 or self.usd_per_1k_output < 0:
+            raise ValueError("token prices must be non-negative")
+
+    def tokens(self, text: str) -> int:
+        """Estimated token count of *text* (0 for empty text)."""
+        if not text:
+            return 0
+        return math.ceil(len(text) / self.chars_per_token)
+
+    def message_tokens(self, messages: Iterable[ChatMessage]) -> int:
+        """Estimated prompt tokens of a rendered chat prompt."""
+        return sum(self.tokens(message.render()) for message in messages)
+
+    def usage(self, messages: Iterable[ChatMessage],
+              response: str) -> tuple[int, int]:
+        """``(token_in, token_out)`` of one prompt/response exchange."""
+        return self.message_tokens(messages), self.tokens(response)
+
+    def cost_usd(self, token_in: int, token_out: int) -> float:
+        """Dollar cost of a token pair, rounded to :data:`COST_DECIMALS`."""
+        cost = (token_in * self.usd_per_1k_input
+                + token_out * self.usd_per_1k_output) / 1000.0
+        return round(cost, COST_DECIMALS)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "usd_per_1k_input": self.usd_per_1k_input,
+                "usd_per_1k_output": self.usd_per_1k_output,
+                "chars_per_token": self.chars_per_token}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostModel":
+        return cls(name=data.get("name", "char-estimate"),
+                   usd_per_1k_input=data.get("usd_per_1k_input", 0.03),
+                   usd_per_1k_output=data.get("usd_per_1k_output", 0.06),
+                   chars_per_token=data.get("chars_per_token", 4))
+
+
+#: The cost model used when neither the telemetry configuration nor the
+#: language model supplies one.
+DEFAULT_COST_MODEL = CostModel()
+
+
+def resolve_cost_model(model: object, override: CostModel | None = None,
+                       ) -> CostModel:
+    """The cost model to account *model*'s calls with.
+
+    Resolution order: an explicit *override* (from
+    :class:`~repro.obs.config.TelemetryConfig`), then the model's own
+    ``cost_model`` attribute (the :class:`~repro.llm.interface.
+    LanguageModel` hook), then :data:`DEFAULT_COST_MODEL`.
+    """
+    if override is not None:
+        return override
+    attached = getattr(model, "cost_model", None)
+    if isinstance(attached, CostModel):
+        return attached
+    return DEFAULT_COST_MODEL

@@ -21,6 +21,7 @@ from typing import Callable
 from repro.core.answer_cache import AnswerCache
 from repro.data.table import Table
 from repro.errors import OperatorError, UnknownTableError
+from repro.obs.trace import QueryTelemetry
 from repro.plotting.spec import PlotSpec
 from repro.relational.sqlexec import SQLBridge
 from repro.text.qa import BartQASim
@@ -43,6 +44,10 @@ class ExecutionContext:
     #: (tables are re-registered only when their content fingerprint
     #: changes) instead of rebuilding an in-memory database per call.
     sql_bridge: SQLBridge | None = None
+    #: optional per-query :class:`~repro.obs.QueryTelemetry`; operators
+    #: record cache locality and inference counts into it via
+    #: :meth:`count` / :meth:`record_answer_lookup`.
+    telemetry: QueryTelemetry | None = None
 
     def resolve(self, name: str) -> Table:
         if name not in self.tables:
@@ -51,6 +56,15 @@ class ExecutionContext:
 
     def bind(self, name: str, table: Table) -> None:
         self.tables[name] = table
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Bump a telemetry counter; no-op when telemetry is unset."""
+        if self.telemetry is not None:
+            self.telemetry.count(name, value)
+
+    def record_answer_lookup(self, hit: bool) -> None:
+        """Record one answer-cache lookup outcome."""
+        self.count("answer_cache_hits" if hit else "answer_cache_misses")
 
 
 @dataclass

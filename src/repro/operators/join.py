@@ -68,6 +68,7 @@ class JoinOperator(PhysicalOperator):
                 result = join(left, right, left_on, right_on)
         except ReproError as exc:
             raise OperatorError(str(exc), operator=self.name) from exc
+        context.count("joins_executed")
         observation = (
             f"Join produced a table with {result.num_rows} rows and "
             f"columns {result.column_names} "

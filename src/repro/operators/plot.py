@@ -40,6 +40,7 @@ class PlotOperator(PhysicalOperator):
         spec = PlotSpec(kind=kind, x_label=x_column, y_label=y_column,
                         x_values=list(table.column(x_column)),
                         y_values=list(table.column(y_column)))
+        context.count("plots_rendered")
         observation = (
             f"Created a {kind} plot of {y_column!r} over {x_column!r} with "
             f"{spec.num_points} points.")

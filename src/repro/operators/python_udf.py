@@ -49,6 +49,7 @@ class PythonOperator(PhysicalOperator):
             transform = udf.compile()
         except (CodeGenerationError, SandboxViolationError) as exc:
             raise OperatorError(str(exc), operator=self.name) from exc
+        context.count("udf_calls")
 
         values = []
         for value in table.column(input_column):

@@ -48,6 +48,7 @@ class SQLOperator(PhysicalOperator):
 
     def run(self, context: ExecutionContext, args: list[str]) -> OperatorResult:
         (sql,) = self.require_args(args, 1)
+        context.count("sql_statements")
         tables = referenced_tables(sql, context.tables)
         try:
             if context.sql_bridge is not None:

@@ -58,10 +58,12 @@ class TextQAOperator(PhysicalOperator):
             if cache is not None:
                 key = (text_fingerprint(str(document)), question, cache_type)
                 cached = cache.get(key)
+                context.record_answer_lookup(cached is not MISS)
                 if cached is not MISS:
                     answers.append(cached)
                     continue
             raw = context.text_model.answer(str(document), question)
+            context.count("text_inferences")
             answer = cast_answer(raw, answer_type, self.name)
             if cache is not None:
                 cache.put(key, answer)

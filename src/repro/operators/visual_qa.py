@@ -86,10 +86,12 @@ class VisualQAOperator(PhysicalOperator):
             if cache is not None:
                 key = (value.fingerprint(), question, cache_type)
                 cached = cache.get(key)
+                context.record_answer_lookup(cached is not MISS)
                 if cached is not MISS:
                     answers.append(cached)
                     continue
             raw = context.vision_model.answer(value, question)
+            context.count("vision_inferences")
             answer = cast_answer(raw, answer_type, self.name)
             if cache is not None:
                 cache.put(key, answer)
@@ -134,10 +136,12 @@ class ImageSelectOperator(PhysicalOperator):
             if cache is not None:
                 key = (value.fingerprint(), description, "select")
                 cached = cache.get(key)
+                context.record_answer_lookup(cached is not MISS)
                 if cached is not MISS:
                     mask.append(cached)
                     continue
             keep = context.vision_model.matches_description(value, description)
+            context.count("vision_inferences")
             if cache is not None:
                 cache.put(key, keep)
             mask.append(keep)

@@ -47,6 +47,7 @@ from repro.core.plan import QueryResult
 from repro.data.catalog import DataLake
 from repro.llm.brain import SimulatedBrain
 from repro.llm.interface import LanguageModel, Transcript
+from repro.obs import MetricsRegistry, TelemetryConfig
 
 
 class Session:
@@ -68,6 +69,12 @@ class Session:
     *plan_cache_size* / *answer_cache_size*; pass existing instances to
     share warmth between sessions or to start from a cache rehydrated
     with :meth:`~repro.core.batch.PlanCache.load`.
+
+    *telemetry* is a :class:`~repro.obs.TelemetryConfig` controlling span
+    collection and cost accounting (default: enabled, cost model resolved
+    from the brain).  Session-lifetime counters and latency histograms
+    accumulate in :attr:`metrics_registry` regardless; :meth:`metrics`
+    returns their deterministic snapshot.
     """
 
     def __init__(self, lake: DataLake | str,
@@ -79,7 +86,8 @@ class Session:
                  mapper: Mapper | None = None,
                  executor: Executor | None = None,
                  plan_cache_size: int = 128,
-                 answer_cache_size: int = DEFAULT_ANSWER_CACHE_SIZE):
+                 answer_cache_size: int = DEFAULT_ANSWER_CACHE_SIZE,
+                 telemetry: TelemetryConfig | None = None):
         if isinstance(lake, str):
             from repro.datasets import load_lake
             lake = load_lake(lake)
@@ -95,6 +103,11 @@ class Session:
                            else PlanCache(plan_cache_size))
         self.answer_cache = (answer_cache if answer_cache is not None
                              else AnswerCache(answer_cache_size))
+        self.telemetry = telemetry or TelemetryConfig()
+        #: session-lifetime :class:`~repro.obs.MetricsRegistry`; every
+        #: engine (and, via shipped deltas, every process-backend worker
+        #: lane) records into it.
+        self.metrics_registry = MetricsRegistry()
         self._engines: list[Engine] = []
         self._pool_lock = threading.Lock()
         self._backends: dict[str, object] = {}
@@ -170,7 +183,8 @@ class Session:
         def child_session() -> "Session":
             return Session(self.lake, brain=brain, config=self.config,
                            planner=self.planner, mapper=self.mapper,
-                           executor=self.executor)
+                           executor=self.executor,
+                           telemetry=self.telemetry)
 
         config = BenchConfig(dataset=self.lake.name, workers=tuple(workers),
                              backends=tuple(backends),
@@ -189,6 +203,15 @@ class Session:
         """Prompt/response transcript of the most recent :meth:`query`."""
         engines = self._pool(1)
         return engines[0].last_transcript
+
+    def metrics(self) -> dict:
+        """Deterministic snapshot of the session metrics registry.
+
+        Counters (queries, cache locality, token/cost totals, worker
+        failures, replans), per-phase latency histograms, and derived
+        rates — see :meth:`repro.obs.MetricsRegistry.snapshot`.
+        """
+        return self.metrics_registry.snapshot()
 
     def save_plan_cache(self, path: str | Path) -> int:
         """Persist the plan cache; returns the number of entries written."""
@@ -291,5 +314,7 @@ class Session:
                     self.lake, model=self.brain, config=self.config,
                     planner=self.planner, mapper=self.mapper,
                     executor=self.executor, plan_cache=self.plan_cache,
-                    answer_cache=self.answer_cache))
+                    answer_cache=self.answer_cache,
+                    metrics=self.metrics_registry,
+                    telemetry=self.telemetry))
             return self._engines[:workers]

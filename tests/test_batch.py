@@ -69,8 +69,8 @@ def test_batch_runner_reports_cache_and_timings(rotowire_lake):
     assert report.cache_misses == 5
     assert report.cache_hits == 7
     assert report.cache_hit_rate > 0.5
-    assert [s.cache_hit for s in report.stats[:5]] == [False] * 5
-    assert all(s.cache_hit for s in report.stats[5:])
+    assert [s.plan_cache_hit for s in report.stats[:5]] == [False] * 5
+    assert all(s.plan_cache_hit for s in report.stats[5:])
     # Per-stage wall clock is accounted for.
     for stage in ("discovery", "planning", "mapping", "execution"):
         assert stage in report.timings

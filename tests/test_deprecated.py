@@ -9,8 +9,10 @@ with ``pytest.warns``.
 import pytest
 
 from repro.cli import main
-from repro.core.batch import BatchRunner, ParallelBatchRunner
+from repro.core.batch import BatchRunner, ParallelBatchRunner, QueryStats
 from repro.core.engine import QueryEngine
+from repro.core.plan import PlanTrace
+from repro.session import Session
 
 QUERY = "How many players are taller than 200?"
 BATCH = [QUERY, "Who is the tallest player?", QUERY]
@@ -78,3 +80,52 @@ def test_legacy_cli_requires_query_or_batch():
     with pytest.warns(DeprecationWarning):
         with pytest.raises(SystemExit):
             main(["--dataset", "rotowire"])
+
+
+def test_plan_trace_plan_cache_hit_shim_reads_telemetry():
+    trace = PlanTrace(query="q")
+    trace.telemetry.mark_plan_cache(True)
+    with pytest.warns(DeprecationWarning, match="telemetry.plan_cache_hit"):
+        assert trace.plan_cache_hit is True
+
+
+def test_plan_trace_plan_cache_hit_shim_writes_telemetry():
+    trace = PlanTrace(query="q")
+    with pytest.warns(DeprecationWarning, match="mark_plan_cache"):
+        trace.plan_cache_hit = True
+    assert trace.telemetry.plan_cache_hit is True
+    with pytest.warns(DeprecationWarning):
+        trace.plan_cache_hit = False
+    assert trace.telemetry.plan_cache_hit is False
+
+
+def test_query_stats_cache_hit_and_seconds_shims():
+    stat = QueryStats(query="q", kind="value", ok=True,
+                      plan_cache_hit=True, steps=2, total_seconds=1.25,
+                      token_in=100, token_out=10, cost_usd=0.0036)
+    with pytest.warns(DeprecationWarning, match="plan_cache_hit"):
+        assert stat.cache_hit is True
+    with pytest.warns(DeprecationWarning, match="total_seconds"):
+        assert stat.seconds == 1.25
+    # Serialized stats carry both spellings for old readers, and
+    # from_dict accepts a pre-telemetry record.
+    data = stat.to_dict()
+    assert data["cache_hit"] is True and data["seconds"] == 1.25
+    legacy = QueryStats.from_dict({"query": "q", "kind": "value",
+                                   "ok": True, "cache_hit": True,
+                                   "steps": 2, "seconds": 1.25})
+    assert legacy.plan_cache_hit is True
+    assert legacy.total_seconds == 1.25
+    assert legacy.token_in == 0 and legacy.cost_usd == 0.0
+
+
+def test_legacy_plan_cache_hit_key_loads_into_telemetry(rotowire_lake):
+    # A result archived before telemetry existed has no "telemetry" key,
+    # only the old boolean; from_dict rebuilds the counter state.
+    result = Session(rotowire_lake).query(QUERY)
+    data = result.to_dict()
+    assert data["trace"]["plan_cache_hit"] is False
+    del data["trace"]["telemetry"]
+    data["trace"]["plan_cache_hit"] = True
+    restored = type(result).from_dict(data)
+    assert restored.telemetry.plan_cache_hit is True

@@ -124,7 +124,7 @@ def test_process_backend_ships_plans_both_ways():
         report = warm_session.batch(queries, workers=2, backend="process")
         assert report.num_errors == 0
         assert report.cache_misses == 0
-        assert all(stat.cache_hit for stat in report.stats)
+        assert all(stat.plan_cache_hit for stat in report.stats)
 
 
 def test_process_backend_ships_answers_both_ways():

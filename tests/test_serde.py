@@ -17,6 +17,7 @@ from repro.core.plan import (ErrorEvent, LogicalPlan, LogicalStep,
                              QueryResult)
 from repro.data.datatypes import DataType
 from repro.data.table import Table
+from repro.obs import QueryTelemetry, StageTrace
 from repro.plotting.spec import PlotSpec
 from repro.vision.image import Image
 
@@ -102,12 +103,19 @@ def test_trace_pieces_roundtrip():
     assert roundtrip(physical) == physical
     assert roundtrip(observation) == observation
     assert roundtrip(event) == event
+    telemetry = QueryTelemetry(
+        spans=[StageTrace("planning", duration_ms=1.5, token_in=10,
+                          token_out=2, cost_usd=0.00042),
+               StageTrace("operator:SQL", duration_ms=0.5, step_index=1,
+                          notes={"rows": 3})],
+        counters={"plan_from_cache": 1, "plan_cache_hits": 1})
     trace = PlanTrace(query="q", logical_plan=LogicalPlan(steps=[step]),
                       physical_steps=[physical], observations=[observation],
                       errors=[event], replans=1,
                       timings={"total": 0.25, "planning": 0.1},
-                      plan_cache_hit=True)
+                      telemetry=telemetry)
     assert roundtrip(trace) == trace
+    assert roundtrip(trace).telemetry.plan_cache_hit is True
 
 
 def test_table_roundtrip_with_dates_and_nulls():

@@ -22,9 +22,9 @@ def test_session_loads_lake_by_name():
 def test_session_query_and_batch_share_caches(rotowire_lake):
     session = Session(rotowire_lake)
     first = session.query(QUERY)
-    assert first.ok and not first.trace.plan_cache_hit
+    assert first.ok and not first.telemetry.plan_cache_hit
     second = session.query(QUERY)
-    assert second.ok and second.trace.plan_cache_hit
+    assert second.ok and second.telemetry.plan_cache_hit
     # .batch rides the same plan cache.
     report = session.batch([QUERY, QUERY])
     assert report.cache_hits == 2 and report.cache_misses == 0
