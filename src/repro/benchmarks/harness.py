@@ -41,7 +41,7 @@ from repro.data.catalog import DataLake
 from repro.datasets import DATASET_NAMES, load_lake
 from repro.exec import backend_names
 from repro.llm.brain import SimulatedBrain
-from repro.obs import TelemetryConfig
+from repro.obs import TelemetryConfig, render_snapshot
 from repro.session import Session
 
 DEFAULT_WORKERS = (1, 2, 4)
@@ -230,10 +230,11 @@ def run_benchmark(config: BenchConfig, lake: DataLake | None = None,
         points = [{"backend": run["backend"], "workers": run["workers"],
                    "metrics": run["metrics"]} for run in runs]
         path = Path(config.metrics_output)
+        # render_snapshot keeps this artifact byte-compatible with the
+        # service's GET /metrics and `repro batch --metrics-file`.
         path.write_text(
-            json.dumps({"benchmark": "parallel_batch_metrics",
-                        "dataset": config.dataset, "points": points},
-                       indent=2, sort_keys=True) + "\n",
+            render_snapshot({"benchmark": "parallel_batch_metrics",
+                             "dataset": config.dataset, "points": points}),
             encoding="utf-8")
         _say(config, f"wrote {path}")
     return record

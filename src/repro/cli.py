@@ -21,7 +21,6 @@ keeps working but emits a :class:`DeprecationWarning`.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import warnings
 from pathlib import Path
@@ -31,6 +30,7 @@ from repro.core.engine import EngineConfig
 from repro.core.plan import QueryResult
 from repro.datasets import DATASET_NAMES, load_lake
 from repro.exec import backend_names
+from repro.obs import render_snapshot
 from repro.plotting.ascii import render_plot
 from repro.session import Session
 
@@ -98,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "bench", add_help=False,
         help="benchmark parallel batch execution ('repro bench --help')")
+    subparsers.add_parser(
+        "serve", add_help=False,
+        help="serve the session over async HTTP ('repro serve --help')")
+    subparsers.add_parser(
+        "loadtest", add_help=False,
+        help="load-test the query service ('repro loadtest --help')")
     return parser
 
 
@@ -208,9 +214,10 @@ def _run_batch(args: argparse.Namespace, path: str) -> int:
     print(report.render())
     metrics_file = getattr(args, "metrics_file", None)
     if metrics_file:
-        Path(metrics_file).write_text(
-            json.dumps(session.metrics(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8")
+        # Same serialization as the service's GET /metrics endpoint
+        # (repro.obs.render_snapshot), so dumps and scrapes diff cleanly.
+        Path(metrics_file).write_text(render_snapshot(session.metrics()),
+                                      encoding="utf-8")
     _finish(session, args)
     return 0 if report.num_errors == 0 else 1
 
@@ -224,6 +231,12 @@ def main(argv: list[str] | None = None) -> int:
     if argv[0] == "bench":
         from repro.benchmarks.harness import main as bench_main
         return bench_main(argv[1:])
+    if argv[0] == "serve":
+        from repro.serve.app import main as serve_main
+        return serve_main(argv[1:])
+    if argv[0] == "loadtest":
+        from repro.serve.loadtest import main as loadtest_main
+        return loadtest_main(argv[1:])
     if argv[0].startswith("-") and argv[0] not in ("--version", "-h",
                                                    "--help"):
         # Flag-style invocation (repro --dataset ... --query/--batch ...)

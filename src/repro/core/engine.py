@@ -115,6 +115,14 @@ class Engine:
         #: registration copy dominated warm batches on 10k-row lakes).
         self.sql_bridge = SQLBridge()
         self.last_transcript = Transcript()
+        #: optional per-span hook called with each
+        #: :class:`~repro.obs.StageTrace` the moment it is recorded —
+        #: the query service's event stream
+        #: (:mod:`repro.serve.jobs`) attaches here to push spans to
+        #: clients while the query is still executing.  Only fires when
+        #: telemetry is enabled; exceptions are swallowed so a broken
+        #: listener can never fail a query.
+        self.span_listener = None
         #: optional session-level :class:`~repro.obs.MetricsRegistry`;
         #: every finished query records counters and latencies into it.
         self.metrics = metrics
@@ -340,12 +348,19 @@ class Engine:
                                                 entry.response)
             token_in += t_in
             token_out += t_out
-        trace.telemetry.add_span(StageTrace(
+        span = StageTrace(
             stage=stage,
             duration_ms=(time.perf_counter() - started) * 1000.0,
             token_in=token_in, token_out=token_out,
             cost_usd=self.cost_model.cost_usd(token_in, token_out),
-            step_index=step_index, notes=dict(notes or {})))
+            step_index=step_index, notes=dict(notes or {}))
+        trace.telemetry.add_span(span)
+        listener = self.span_listener
+        if listener is not None:
+            try:
+                listener(span)
+            except Exception:  # noqa: BLE001 - listeners must never fail a query
+                pass
 
     def _record_metrics(self, trace: PlanTrace, ok: bool) -> None:
         """Fold one finished query into the session metrics registry."""

@@ -19,7 +19,8 @@ accounting" item names, built as one subsystem:
 from repro.obs.config import TelemetryConfig
 from repro.obs.cost import (DEFAULT_COST_MODEL, CostModel,
                             resolve_cost_model)
-from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.metrics import (LATENCY_BUCKETS, MetricsRegistry,
+                               render_snapshot)
 from repro.obs.trace import (LOCALITY_COUNTERS, QueryTelemetry,
                              StageTrace)
 
@@ -32,5 +33,6 @@ __all__ = [
     "QueryTelemetry",
     "StageTrace",
     "TelemetryConfig",
+    "render_snapshot",
     "resolve_cost_model",
 ]

@@ -22,6 +22,7 @@ counters do not.)
 
 from __future__ import annotations
 
+import json
 import threading
 
 #: Upper bounds (seconds) of the latency histogram buckets; the implicit
@@ -29,6 +30,17 @@ import threading
 #: sessions, processes, and commits.
 LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
                    0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Canonical JSON text of a metrics snapshot.
+
+    Sorted keys, two-space indent, trailing newline — the one encoding
+    shared by the service's ``GET /metrics`` endpoint, ``repro batch
+    --metrics-file``, and the bench harness's ``--metrics-output``, so a
+    scraped snapshot and a dumped file diff cleanly against each other.
+    """
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
 
 
 class _Histogram:

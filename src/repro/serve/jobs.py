@@ -1,0 +1,359 @@
+"""The background job queue behind the query service.
+
+A :class:`JobManager` turns one long-lived
+:class:`~repro.session.Session` into a concurrent query executor: submits
+go through the :class:`~repro.serve.admission.AdmissionController` into a
+FIFO queue, a fixed pool of worker threads drains it — each worker owning
+one engine drawn from :meth:`Session.make_engine`, exactly the shape the
+thread execution backend uses — and every job exposes its lifecycle as a
+poll-able status plus an append-only event log (one entry per
+:class:`~repro.obs.StageTrace` span as execution progresses, which the
+``GET /queries/{id}/events`` endpoint streams as NDJSON).
+
+Failure semantics mirror the process backend
+(:mod:`repro.exec.process`): a per-job timeout abandons the stuck
+engine (the worker replaces it and moves on) and resolves the job with a
+``phase="worker"`` :class:`~repro.core.plan.ErrorEvent` in the polled
+result, so a hung modality model can never wedge a worker lane.  An
+unexpected engine crash resolves the job the same way; the worker always
+survives.
+
+Everything here is plain threads — no asyncio — so the manager is usable
+(and tested) without an HTTP server in front of it; the async app layer
+only ever touches thread-safe state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import secrets
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.plan import ErrorEvent, PlanTrace, QueryResult
+from repro.obs import StageTrace
+from repro.serve.admission import AdmissionController, AdmissionError
+from repro.serve.schemas import job_links
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session import Session
+
+__all__ = ["Job", "JobManager", "AdmissionError"]
+
+#: Job lifecycle states.  ``done`` covers success *and* error results
+#: (the result's ``kind`` tells them apart); ``cancelled`` jobs never
+#: reached a worker.
+JOB_STATUSES = ("queued", "running", "done", "cancelled")
+
+_STOP = object()
+
+
+class Job:
+    """One submitted query and everything that happened to it."""
+
+    def __init__(self, job_id: str, query: str, client: str,
+                 timeout_s: float | None):
+        self.id = job_id
+        self.query = query
+        self.client = client
+        self.timeout_s = timeout_s
+        self.status = "queued"
+        self.result: QueryResult | None = None
+        self.worker_id: int | None = None
+        self.submitted = time.perf_counter()
+        self.queue_wait_s: float | None = None
+        self.run_s: float | None = None
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._finished = threading.Event()
+        self.emit({"event": "queued", "job_id": self.id,
+                   "query": self.query})
+
+    # ------------------------------------------------------------------
+    # Event log (consumed by the streaming endpoint)
+    # ------------------------------------------------------------------
+
+    def emit(self, event: dict) -> None:
+        with self._lock:
+            if self._finished.is_set():
+                # A span from an abandoned (timed-out) engine arriving
+                # after resolution would confuse stream consumers.
+                return
+            self._events.append(event)
+
+    def emit_span(self, span: StageTrace) -> None:
+        self.emit({"event": "span", "span": span.to_dict()})
+
+    def events_since(self, index: int) -> tuple[list[dict], bool]:
+        """Events appended at or after *index*, plus the finished flag."""
+        with self._lock:
+            return self._events[index:], self._finished.is_set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle transitions (job-manager internal)
+    # ------------------------------------------------------------------
+
+    def take_for_run(self, worker_id: int) -> bool:
+        """Atomically move queued → running; False if already cancelled."""
+        with self._lock:
+            if self.status != "queued":
+                return False
+            self.status = "running"
+            self.worker_id = worker_id
+            self.queue_wait_s = time.perf_counter() - self.submitted
+        self.emit({"event": "started", "worker_id": worker_id,
+                   "queue_wait_ms": round(self.queue_wait_s * 1000, 3)})
+        return True
+
+    def finish(self, result: QueryResult) -> None:
+        self.emit({"event": "done", "status": "done",
+                   "kind": result.kind, "ok": result.ok})
+        with self._lock:
+            self.status = "done"
+            self.result = result
+            if self.queue_wait_s is not None:
+                self.run_s = (time.perf_counter() - self.submitted
+                              - self.queue_wait_s)
+            self._finished.set()
+
+    def cancel(self) -> bool:
+        """Queued → cancelled; False if the job already left the queue."""
+        with self._lock:
+            if self.status != "queued":
+                return False
+            self.status = "cancelled"
+        self.emit({"event": "done", "status": "cancelled"})
+        with self._lock:
+            self._finished.set()
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._finished.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._finished.wait(timeout)
+
+    def to_dict(self) -> dict:
+        """The ``GET /queries/{id}`` payload (result included once done)."""
+        with self._lock:
+            payload = {
+                "id": self.id,
+                "status": self.status,
+                "query": self.query,
+                "client": self.client,
+                "links": job_links(self.id),
+            }
+            if self.queue_wait_s is not None:
+                payload["queue_wait_ms"] = round(self.queue_wait_s * 1000, 3)
+            if self.run_s is not None:
+                payload["run_ms"] = round(self.run_s * 1000, 3)
+            if self.result is not None:
+                payload["ok"] = self.result.ok
+                payload["result"] = self.result.to_dict()
+            return payload
+
+
+class JobManager:
+    """Bounded job queue + worker pool over one session."""
+
+    def __init__(self, session: "Session", workers: int = 2,
+                 queue_depth: int = 32, per_client_limit: int = 8,
+                 default_timeout_s: float | None = 60.0,
+                 retry_after_s: float = 1.0,
+                 max_jobs_kept: int = 4096):
+        if workers <= 0:
+            raise ValueError(f"workers must be positive: {workers}")
+        self.session = session
+        self.workers = workers
+        self.default_timeout_s = default_timeout_s
+        self.metrics = session.metrics_registry
+        self.admission = AdmissionController(
+            queue_depth=queue_depth, per_client_limit=per_client_limit,
+            retry_after_s=retry_after_s, metrics=self.metrics)
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._max_jobs_kept = max_jobs_kept
+        self._counter = itertools.count(1)
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker, args=(index,),
+                             name=f"repro-serve-worker-{index}", daemon=True)
+            for index in range(workers)]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Public surface (what the HTTP layer calls)
+    # ------------------------------------------------------------------
+
+    def submit(self, query: str, client: str,
+               timeout_s: float | None = None) -> Job:
+        """Admit and enqueue one query; raises AdmissionError when full.
+
+        The effective timeout is the requested one capped by the server
+        default, so a client can tighten but never loosen the budget.
+        """
+        self.admission.admit(client)
+        effective = self.default_timeout_s
+        if timeout_s is not None:
+            effective = (min(timeout_s, effective)
+                         if effective is not None else timeout_s)
+        job = Job(self._next_id(), query, client, effective)
+        with self._jobs_lock:
+            self._jobs[job.id] = job
+            self._evict_finished()
+        self.metrics.increment("serve_jobs_submitted_total")
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a queued job; returns the outcome for status mapping.
+
+        ``"cancelled"`` on success, ``"running"``/``"finished"`` when the
+        job already left the queue (HTTP 409), ``"missing"`` for an
+        unknown id (404).
+        """
+        job = self.get(job_id)
+        if job is None:
+            return "missing"
+        if job.cancel():
+            self.admission.release_queued(job.client)
+            self.metrics.increment("serve_jobs_cancelled_total")
+            return "cancelled"
+        return "finished" if job.finished else "running"
+
+    def drain(self, grace_s: float | None = None) -> bool:
+        """Stop admitting, wait for in-flight jobs, stop the workers.
+
+        Returns True when every accepted job resolved within *grace_s*
+        (``None`` waits indefinitely).  Idempotent: later calls just
+        re-wait.
+        """
+        self.admission.start_draining()
+        deadline = (None if grace_s is None
+                    else time.perf_counter() + grace_s)
+        completed = True
+        for job in self.jobs():
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.perf_counter())
+            if not job.wait(remaining):
+                completed = False
+        self.close()
+        return completed
+
+    def close(self) -> None:
+        """Stop the worker threads (queued jobs are NOT waited for)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def jobs(self) -> list[Job]:
+        with self._jobs_lock:
+            return list(self._jobs.values())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _next_id(self) -> str:
+        return f"q{next(self._counter):06d}-{secrets.token_hex(3)}"
+
+    def _evict_finished(self) -> None:
+        # Bound the job map: oldest finished jobs go first (an unfinished
+        # job is never evicted, so accepted work is never dropped).
+        while len(self._jobs) > self._max_jobs_kept:
+            for job_id, job in self._jobs.items():
+                if job.finished:
+                    del self._jobs[job_id]
+                    break
+            else:
+                return
+
+    def _worker(self, index: int) -> None:
+        engine = self.session.make_engine()
+        # A single-thread inner executor per worker enforces the per-job
+        # timeout: on expiry the inner thread (and its engine) is
+        # abandoned and both are replaced, mirroring the process
+        # backend's lane-teardown semantics without killing the worker.
+        inner = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-serve-run-{index}")
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                inner.shutdown(wait=False)
+                return
+            job: Job = item
+            if not job.take_for_run(index):
+                continue  # cancelled while queued; admission released
+            self.admission.mark_started()
+            self.metrics.observe("serve_queue_wait", job.queue_wait_s)
+            engine.span_listener = job.emit_span
+            try:
+                future = inner.submit(engine.query, job.query)
+                result = future.result(timeout=job.timeout_s)
+            except FutureTimeoutError:
+                future.cancel()
+                result = self._timeout_result(job, index)
+                engine, inner = self._replace_engine(inner, index)
+            except Exception as exc:  # noqa: BLE001 - worker must survive
+                result = self._crash_result(job, index, exc)
+                engine, inner = self._replace_engine(inner, index)
+            else:
+                engine.span_listener = None
+            job.finish(result)
+            self.admission.release_running(job.client)
+            self.metrics.increment("serve_jobs_completed_total")
+            self.metrics.observe("serve_job_latency",
+                                 time.perf_counter() - job.submitted)
+
+    def _replace_engine(self, inner: ThreadPoolExecutor,
+                        index: int) -> tuple:
+        inner.shutdown(wait=False)
+        return (self.session.make_engine(),
+                ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix=f"repro-serve-run-{index}"))
+
+    def _timeout_result(self, job: Job, index: int) -> QueryResult:
+        self.metrics.increment("serve_job_timeouts_total")
+        message = (f"job {job.id} timed out after {job.timeout_s:g}s; "
+                   f"worker lane {index} replaced")
+        return self._worker_error(job, index, message)
+
+    def _crash_result(self, job: Job, index: int,
+                      exc: Exception) -> QueryResult:
+        self.metrics.increment("serve_worker_failures_total")
+        message = (f"job {job.id} crashed its worker lane {index}: "
+                   f"{type(exc).__name__}: {exc}")
+        return self._worker_error(job, index, message)
+
+    @staticmethod
+    def _worker_error(job: Job, index: int, message: str) -> QueryResult:
+        trace = PlanTrace(query=job.query)
+        trace.errors.append(ErrorEvent.worker_failure(
+            message, recovered=False, worker_id=index))
+        return QueryResult(kind="error", error=message, trace=trace)
+
+
+#: Type of the per-span hook :class:`JobManager` installs on its engines
+#: (documented here so :mod:`repro.core.engine` can reference it).
+SpanListener = Callable[[StageTrace], None]

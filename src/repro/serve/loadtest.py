@@ -1,0 +1,481 @@
+"""Load-test harness for the query service (``repro loadtest``).
+
+Hammers a running server — self-hosted on an ephemeral port by default,
+or an external ``--url`` — with N concurrent clients over the dataset's
+fixed benchmark workload (:mod:`repro.benchmarks.workloads`), and writes
+a ``BENCH_serve.json`` record next to the throughput benches:
+
+- a **cold** and a **warm** pass (same split as ``repro bench``: the
+  warm pass runs on hot plan/answer caches — the steady state a
+  long-lived service converges to), each recording end-to-end
+  submit→done latency percentiles (p50/p90/p99), error counts, and 429
+  admission rejections;
+- a **burst** phase that floods the queue far past its depth and
+  verifies the failure mode is *only* back-pressure: every submit is
+  answered 202 or 429 (never 5xx) and every accepted job resolves;
+- the final ``/metrics`` snapshot, so queue-wait histograms and
+  admission counters land in the committed artifact.
+
+Each client keeps one HTTP connection open (``http.client``,
+keep-alive), authenticates with its own API token, and on 429 honours
+the ``Retry-After`` hint before retrying — i.e. it behaves the way a
+well-behaved SDK client would.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import math
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.benchmarks.workloads import WORKLOAD_VERSION, workload
+
+DEFAULT_OUTPUT = "BENCH_serve.json"
+#: self-host default: simulate a remote planner round trip per model
+#: call, same default as ``repro bench`` — load numbers should reflect
+#: the latency-bound profile a real deployment sees.
+DEFAULT_LLM_LATENCY_MS = 10.0
+
+
+@dataclass
+class LoadTestConfig:
+    """One load-test invocation."""
+
+    dataset: str = "artwork"
+    scale: float = 10.0
+    seed: int | None = None
+    clients: int = 8
+    #: workload repetitions per client per pass.
+    repeats: int = 2
+    #: external server to hammer; ``None`` self-hosts one.
+    url: str | None = None
+    # self-host server shape (ignored with --url):
+    workers: int = 4
+    queue_depth: int = 32
+    per_client_limit: int = 8
+    job_timeout_s: float = 60.0
+    llm_latency_ms: float = DEFAULT_LLM_LATENCY_MS
+    #: burst phase: how many rapid submits past the queue depth.
+    burst_factor: int = 3
+    poll_interval_s: float = 0.005
+    #: give up on one request after this many seconds of polling.
+    request_deadline_s: float = 120.0
+    output: str | None = DEFAULT_OUTPUT
+    quiet: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.clients <= 0:
+            raise ValueError(f"clients must be positive: {self.clients}")
+        if self.repeats <= 0:
+            raise ValueError(f"repeats must be positive: {self.repeats}")
+
+
+def _say(config: LoadTestConfig, message: str) -> None:
+    if not config.quiet:
+        print(f"[loadtest] {message}", flush=True)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of *samples*."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class _Client:
+    """One load-generating client: its own connection + API token."""
+
+    def __init__(self, host: str, port: int, token: str,
+                 config: LoadTestConfig):
+        self.host, self.port, self.token = host, port, token
+        self.config = config
+        self._conn: http.client.HTTPConnection | None = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=30)
+        return self._conn
+
+    def request(self, method: str, path: str,
+                body: dict | None = None) -> tuple[int, dict, dict]:
+        """One request → (status, headers, decoded JSON body).
+
+        A dead keep-alive connection is rebuilt and the request retried
+        once before the failure propagates.
+        """
+        payload = json.dumps(body) if body is not None else None
+        headers = {"x-api-token": self.token}
+        if payload is not None:
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                text = response.read().decode("utf-8")
+            except (OSError, http.client.HTTPException):
+                self.close()  # stale keep-alive; next attempt reconnects
+                if attempt:
+                    raise
+                continue
+            decoded = json.loads(text) if text.strip() else {}
+            return response.status, dict(response.getheaders()), decoded
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def run_query(self, query: str) -> dict:
+        """Submit, honour 429 back-pressure, poll to completion."""
+        started = time.perf_counter()
+        deadline = started + self.config.request_deadline_s
+        rejections = 0
+        while True:
+            status, headers, body = self.request(
+                "POST", "/queries", {"query": query})
+            if status == 202:
+                break
+            if status == 429:
+                rejections += 1
+                retry_after = float(headers.get("Retry-After", 1))
+                if time.perf_counter() + retry_after > deadline:
+                    return {"ok": False, "status": status,
+                            "rejections": rejections,
+                            "latency_s": time.perf_counter() - started,
+                            "outcome": "rejected"}
+                time.sleep(retry_after)
+                continue
+            return {"ok": False, "status": status,
+                    "rejections": rejections,
+                    "latency_s": time.perf_counter() - started,
+                    "outcome": f"http_{status}"}
+        job_id = body["id"]
+        while True:
+            status, _, body = self.request("GET", f"/queries/{job_id}")
+            if status != 200:
+                return {"ok": False, "status": status,
+                        "rejections": rejections,
+                        "latency_s": time.perf_counter() - started,
+                        "outcome": f"poll_http_{status}"}
+            if body["status"] in ("done", "cancelled"):
+                ok = bool(body.get("ok")) and body["status"] == "done"
+                return {"ok": ok, "status": 200, "rejections": rejections,
+                        "latency_s": time.perf_counter() - started,
+                        "outcome": "done" if ok else "query_error"}
+            if time.perf_counter() > deadline:
+                return {"ok": False, "status": 200,
+                        "rejections": rejections,
+                        "latency_s": time.perf_counter() - started,
+                        "outcome": "deadline"}
+            time.sleep(self.config.poll_interval_s)
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+def _run_pass(host: str, port: int, queries: list[str],
+              config: LoadTestConfig) -> dict:
+    """One pass: every client drains the workload concurrently."""
+    results: list[dict] = []
+    results_lock = threading.Lock()
+    barrier = threading.Barrier(config.clients + 1)
+
+    def client_loop(index: int) -> None:
+        client = _Client(host, port, f"client-{index}", config)
+        # Offset each client's starting point so the instantaneous mix
+        # of queries differs across clients instead of moving in
+        # lockstep through identical cache keys.
+        offset = (index * len(queries)) // max(1, config.clients)
+        ordered = queries[offset:] + queries[:offset]
+        barrier.wait()
+        collected = []
+        for query in ordered * config.repeats:
+            try:
+                collected.append(client.run_query(query))
+            except Exception as exc:  # noqa: BLE001 - a dead client is a data point
+                collected.append({"ok": False, "status": 0, "rejections": 0,
+                                  "latency_s": 0.0,
+                                  "outcome": f"transport_"
+                                             f"{type(exc).__name__}"})
+        client.close()
+        with results_lock:
+            results.extend(collected)
+
+    threads = [threading.Thread(target=client_loop, args=(i,), daemon=True)
+               for i in range(config.clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    latencies = [r["latency_s"] * 1000 for r in results if r["ok"]]
+    errors = [r for r in results if not r["ok"]]
+    return {
+        "requests": len(results),
+        "ok": len(latencies),
+        "errors": len(errors),
+        "error_outcomes": sorted({r["outcome"] for r in errors}),
+        "rejections_429": sum(r["rejections"] for r in results),
+        "p50_ms": round(percentile(latencies, 50), 3),
+        "p90_ms": round(percentile(latencies, 90), 3),
+        "p99_ms": round(percentile(latencies, 99), 3),
+        "mean_ms": round(sum(latencies) / len(latencies), 3)
+        if latencies else 0.0,
+        "max_ms": round(max(latencies), 3) if latencies else 0.0,
+        "wall_seconds": round(wall, 3),
+        "throughput_rps": round(len(results) / wall, 3) if wall else 0.0,
+    }
+
+
+def _run_burst(host: str, port: int, query: str,
+               config: LoadTestConfig) -> dict:
+    """Flood the queue past its depth; only 429s may come back.
+
+    Submits ``queue_depth * burst_factor`` jobs as fast as possible from
+    parallel submitters (each with its own token so the per-client limit
+    isn't what trips first), then polls every accepted job to
+    completion: the burst is healthy iff rejects are all 429 and nothing
+    is dropped.
+    """
+    total = config.queue_depth * config.burst_factor
+    submitters = min(8, config.clients)
+    accepted: list[str] = []
+    outcomes = {"accepted": 0, "rejected_429": 0, "other_status": 0}
+    lock = threading.Lock()
+    barrier = threading.Barrier(submitters + 1)
+
+    def submit_loop(index: int) -> None:
+        client = _Client(host, port, f"burst-{index}", config)
+        barrier.wait()
+        for _ in range(total // submitters):
+            try:
+                status, _, body = client.request(
+                    "POST", "/queries", {"query": query})
+            except OSError:
+                with lock:
+                    outcomes["other_status"] += 1
+                continue
+            with lock:
+                if status == 202:
+                    outcomes["accepted"] += 1
+                    accepted.append(body["id"])
+                elif status == 429:
+                    outcomes["rejected_429"] += 1
+                else:
+                    outcomes["other_status"] += 1
+        client.close()
+
+    threads = [threading.Thread(target=submit_loop, args=(i,), daemon=True)
+               for i in range(submitters)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    for thread in threads:
+        thread.join()
+
+    # Every accepted job must resolve — back pressure may reject, but
+    # it must never drop.
+    poller = _Client(host, port, "burst-poller", config)
+    deadline = time.perf_counter() + config.request_deadline_s
+    unresolved = 0
+    resolved_ok = 0
+    for job_id in accepted:
+        while True:
+            status, _, body = poller.request("GET", f"/queries/{job_id}")
+            if status == 200 and body["status"] in ("done", "cancelled"):
+                if body["status"] == "done" and body.get("ok"):
+                    resolved_ok += 1
+                break
+            if time.perf_counter() > deadline:
+                unresolved += 1
+                break
+            time.sleep(config.poll_interval_s)
+    poller.close()
+    return {"submitted": total, **outcomes,
+            "resolved_ok": resolved_ok, "unresolved": unresolved}
+
+
+def run_loadtest(config: LoadTestConfig) -> dict:
+    """Run the full load test and return (and optionally write) the record."""
+    queries = list(workload(config.dataset, repeats=1))
+    handle = None
+    if config.url is None:
+        from types import SimpleNamespace
+
+        from repro.serve.app import ServeConfig, ServerHandle, build_session
+        _say(config, f"self-hosting: {config.dataset} lake at scale "
+                     f"{config.scale:g}, {config.workers} workers, "
+                     f"queue depth {config.queue_depth}")
+        session = build_session(SimpleNamespace(
+            dataset=config.dataset, seed=config.seed, scale=config.scale,
+            llm_latency_ms=config.llm_latency_ms,
+            plan_cache_file=None, answer_cache_file=None))
+        handle = ServerHandle(session, ServeConfig(
+            port=0, workers=config.workers,
+            queue_depth=config.queue_depth,
+            per_client_limit=config.per_client_limit,
+            job_timeout_s=config.job_timeout_s)).start()
+        host, port = "127.0.0.1", handle.port
+    else:
+        prefix = config.url.rstrip("/")
+        if prefix.startswith("http://"):
+            prefix = prefix[len("http://"):]
+        host, _, port_text = prefix.partition(":")
+        port = int(port_text or 80)
+        _say(config, f"targeting external server {host}:{port}")
+
+    try:
+        _say(config, f"workload: {len(queries)} unique queries x "
+                     f"{config.repeats} repeats x {config.clients} clients "
+                     f"per pass")
+        passes = {}
+        for name in ("cold", "warm"):
+            passes[name] = _run_pass(host, port, queries, config)
+            record = passes[name]
+            _say(config, f"{name:>4s}: {record['requests']} requests, "
+                         f"p50 {record['p50_ms']:.0f}ms / "
+                         f"p99 {record['p99_ms']:.0f}ms, "
+                         f"{record['errors']} errors, "
+                         f"{record['rejections_429']} x 429, "
+                         f"{record['throughput_rps']:.1f} req/s")
+        burst = _run_burst(host, port, queries[0], config)
+        _say(config, f"burst: {burst['submitted']} submits -> "
+                     f"{burst['accepted']} accepted, "
+                     f"{burst['rejected_429']} x 429, "
+                     f"{burst['other_status']} other, "
+                     f"{burst['unresolved']} unresolved")
+        status, _, metrics = _Client(host, port, "metrics", config).request(
+            "GET", "/metrics")
+        if status != 200:
+            metrics = {}
+    finally:
+        if handle is not None:
+            drained = handle.drain(timeout=60)
+            _say(config, f"server drained (clean={drained})")
+
+    record = {
+        "benchmark": "serve_loadtest",
+        "workload_version": WORKLOAD_VERSION,
+        "created_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "dataset": config.dataset,
+        "scale": None if config.url else config.scale,
+        "seed": config.seed,
+        "clients": config.clients,
+        "repeats": config.repeats,
+        "llm_latency_ms": (None if config.url else config.llm_latency_ms),
+        "server": ({"url": config.url} if config.url else {
+            "self_hosted": True, "workers": config.workers,
+            "queue_depth": config.queue_depth,
+            "per_client_limit": config.per_client_limit,
+            "job_timeout_s": config.job_timeout_s}),
+        "passes": passes,
+        "burst": burst,
+        "metrics": metrics,
+    }
+    if config.output:
+        path = Path(config.output)
+        path.write_text(json.dumps(record, indent=2) + "\n",
+                        encoding="utf-8")
+        _say(config, f"wrote {path}")
+    return record
+
+
+def healthy(record: dict) -> tuple[bool, list[str]]:
+    """The CI gate: no non-429 failures anywhere, nothing dropped."""
+    problems = []
+    for name, record_pass in record["passes"].items():
+        if record_pass["errors"]:
+            problems.append(
+                f"{name} pass had {record_pass['errors']} failed requests "
+                f"({', '.join(record_pass['error_outcomes'])})")
+    burst = record["burst"]
+    if burst["other_status"]:
+        problems.append(f"burst saw {burst['other_status']} non-202/429 "
+                        f"responses")
+    if burst["unresolved"]:
+        problems.append(f"burst dropped {burst['unresolved']} accepted jobs")
+    if burst["accepted"] + burst["rejected_429"] != burst["submitted"]:
+        problems.append("burst accounting does not add up")
+    return (not problems, problems)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    from repro.cliargs import positive_float, positive_int
+    from repro.datasets import DATASET_NAMES
+    parser = argparse.ArgumentParser(
+        prog="repro loadtest",
+        description="Hammer the query service with concurrent clients and "
+                    "record p50/p99 latency into BENCH_serve.json.")
+    parser.add_argument("--dataset", choices=DATASET_NAMES,
+                        default="artwork",
+                        help="workload + self-hosted lake (default: artwork)")
+    parser.add_argument("--scale", type=positive_float, default=10.0,
+                        help="self-hosted lake scale (default: 10)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="dataset generation seed")
+    parser.add_argument("--clients", type=positive_int, default=8,
+                        help="concurrent clients (default: 8)")
+    parser.add_argument("--repeats", type=positive_int, default=2,
+                        help="workload repetitions per client per pass "
+                             "(default: 2)")
+    parser.add_argument("--url", default=None,
+                        help="hammer an already-running server instead of "
+                             "self-hosting (e.g. http://127.0.0.1:8080)")
+    parser.add_argument("--workers", type=positive_int, default=4,
+                        help="self-hosted server worker lanes (default: 4)")
+    parser.add_argument("--queue-depth", type=positive_int, default=32,
+                        help="self-hosted admission queue depth "
+                             "(default: 32)")
+    parser.add_argument("--per-client-limit", type=positive_int, default=8,
+                        help="self-hosted per-token concurrency limit "
+                             "(default: 8)")
+    parser.add_argument("--job-timeout-s", type=positive_float, default=60.0,
+                        help="self-hosted per-job timeout (default: 60)")
+    parser.add_argument("--llm-latency-ms", type=positive_float,
+                        default=DEFAULT_LLM_LATENCY_MS,
+                        help="self-hosted simulated planner latency per "
+                             f"call (default: {DEFAULT_LLM_LATENCY_MS:g})")
+    parser.add_argument("--burst-factor", type=positive_int, default=3,
+                        help="burst submits = queue depth x this "
+                             "(default: 3)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"JSON output path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    config = LoadTestConfig(
+        dataset=args.dataset, scale=args.scale, seed=args.seed,
+        clients=args.clients, repeats=args.repeats, url=args.url,
+        workers=args.workers, queue_depth=args.queue_depth,
+        per_client_limit=args.per_client_limit,
+        job_timeout_s=args.job_timeout_s,
+        llm_latency_ms=args.llm_latency_ms,
+        burst_factor=args.burst_factor,
+        output=args.output, quiet=args.quiet)
+    record = run_loadtest(config)
+    ok, problems = healthy(record)
+    for problem in problems:
+        print(f"[loadtest] FAIL {problem}", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -301,6 +301,24 @@ class Session:
                 self._backends[name] = create_backend(name)
             return self._backends[name]
 
+    def make_engine(self) -> Engine:
+        """A fresh engine wired to this session's full stack.
+
+        Same lake, brain, configuration, role overrides, caches, and
+        metrics registry as the pooled engines — but owned by the
+        caller, not the pool.  The query service's worker lanes
+        (:class:`repro.serve.jobs.JobManager`) build their engines here
+        so a lane can discard a wedged engine (per-job timeout) and
+        replace it without disturbing the shared pool.
+        """
+        return Engine(
+            self.lake, model=self.brain, config=self.config,
+            planner=self.planner, mapper=self.mapper,
+            executor=self.executor, plan_cache=self.plan_cache,
+            answer_cache=self.answer_cache,
+            metrics=self.metrics_registry,
+            telemetry=self.telemetry)
+
     def _pool(self, workers: int) -> list[Engine]:
         """The first *workers* engines, growing the pool as needed.
 
@@ -310,11 +328,5 @@ class Session:
         """
         with self._pool_lock:
             while len(self._engines) < workers:
-                self._engines.append(Engine(
-                    self.lake, model=self.brain, config=self.config,
-                    planner=self.planner, mapper=self.mapper,
-                    executor=self.executor, plan_cache=self.plan_cache,
-                    answer_cache=self.answer_cache,
-                    metrics=self.metrics_registry,
-                    telemetry=self.telemetry))
+                self._engines.append(self.make_engine())
             return self._engines[:workers]

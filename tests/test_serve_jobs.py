@@ -1,0 +1,206 @@
+"""The job queue + admission layer without HTTP in front: the
+thread-level semantics the server builds on, plus the load-test
+harness's record shape."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.llm.brain import SimulatedBrain
+from repro.serve.admission import AdmissionController, AdmissionError
+from repro.serve.jobs import JobManager
+from repro.serve.loadtest import LoadTestConfig, healthy, percentile, run_loadtest
+from repro.serve.schemas import SchemaError, parse_submit
+from repro.session import Session
+
+
+# ----------------------------------------------------------------------
+# Schemas
+# ----------------------------------------------------------------------
+
+def test_parse_submit_validation():
+    request = parse_submit({"query": "  who?  ", "timeout_s": 2})
+    assert request.query == "who?"
+    assert request.timeout_s == 2.0
+    assert parse_submit({"query": "q"}).timeout_s is None
+    for bad in (None, [], {"query": 3}, {"query": " "}, {},
+                {"query": "q", "timeout_s": 0},
+                {"query": "q", "timeout_s": True},
+                {"query": "q", "extra": 1},
+                {"query": "x" * 10_001}):
+        with pytest.raises(SchemaError):
+            parse_submit(bad)
+
+
+# ----------------------------------------------------------------------
+# Admission controller
+# ----------------------------------------------------------------------
+
+def test_admission_gates_and_occupancy():
+    admission = AdmissionController(queue_depth=2, per_client_limit=2,
+                                    retry_after_s=3.0)
+    admission.admit("a")
+    admission.admit("a")
+    # Queue full before the client limit is consulted.
+    with pytest.raises(AdmissionError) as info:
+        admission.admit("b")
+    assert info.value.reason == "queue_full"
+    assert info.value.status == 429
+    assert info.value.retry_after_s == 3.0
+    # One job starts running: a queue slot frees, but client "a" is at
+    # its in-flight (queued + running) limit.
+    admission.mark_started()
+    with pytest.raises(AdmissionError) as info:
+        admission.admit("a")
+    assert info.value.reason == "client_limit"
+    admission.admit("b")
+    occupancy = admission.occupancy()
+    assert occupancy == {"queued": 2, "running": 1, "clients": 2,
+                         "queue_depth": 2, "per_client_limit": 2,
+                         "draining": False}
+    # Releases unwind both axes.
+    admission.release_running("a")
+    admission.release_queued("a")
+    admission.admit("a")
+    # Draining rejects everything with 503.
+    admission.start_draining()
+    with pytest.raises(AdmissionError) as info:
+        admission.admit("c")
+    assert info.value.reason == "draining"
+    assert info.value.status == 503
+
+
+def test_admission_rejections_counted_in_metrics(rotowire_lake):
+    session = Session(rotowire_lake)
+    manager = JobManager(session, workers=1, queue_depth=1,
+                         per_client_limit=1)
+    try:
+        manager.admission.start_draining()
+        with pytest.raises(AdmissionError):
+            manager.submit("q", "a")
+        counters = session.metrics_registry.counters()
+        assert counters["serve_admission_rejections_total"] == 1
+        assert counters["serve_admission_rejections_draining"] == 1
+    finally:
+        manager.close()
+
+
+# ----------------------------------------------------------------------
+# Job manager
+# ----------------------------------------------------------------------
+
+def test_job_manager_runs_jobs_and_records_metrics(rotowire_lake):
+    session = Session(rotowire_lake)
+    manager = JobManager(session, workers=2)
+    try:
+        jobs = [manager.submit("How many players are taller than 200?",
+                               f"client-{i}") for i in range(3)]
+        for job in jobs:
+            assert job.wait(30)
+            assert job.status == "done"
+            assert job.result is not None and job.result.ok
+        payload = jobs[0].to_dict()
+        assert payload["ok"] is True
+        assert payload["result"]["kind"] == "value"
+        assert payload["queue_wait_ms"] >= 0
+        events = [event["event"]
+                  for event in jobs[0].events_since(0)[0]]
+        assert events[0] == "queued" and events[-1] == "done"
+        assert "span" in events
+        counters = session.metrics_registry.counters()
+        assert counters["serve_jobs_submitted_total"] == 3
+        assert counters["serve_jobs_completed_total"] == 3
+        histograms = session.metrics_registry.snapshot()["histograms"]
+        assert histograms["serve_queue_wait"]["count"] == 3
+        assert histograms["serve_job_latency"]["count"] == 3
+    finally:
+        manager.close()
+
+
+def test_job_manager_cancel_and_drain(rotowire_lake):
+    session = Session(rotowire_lake,
+                      brain=SimulatedBrain(latency_seconds=0.2))
+    manager = JobManager(session, workers=1, queue_depth=10)
+    running = manager.submit("Who is the tallest player?", "a")
+    queued = manager.submit("Who is the tallest player?", "a")
+    assert manager.cancel(queued.id) == "cancelled"
+    assert manager.cancel("missing") == "missing"
+    assert queued.finished and queued.status == "cancelled"
+    # Drain finishes the in-flight job, then refuses new work.
+    assert manager.drain(grace_s=30) is True
+    assert running.status == "done"
+    assert manager.cancel(running.id) == "finished"
+    with pytest.raises(AdmissionError):
+        manager.submit("q", "a")
+
+
+def test_crash_result_resolves_as_worker_error(rotowire_lake):
+    session = Session(rotowire_lake)
+    manager = JobManager(session, workers=1)
+
+    class Boom(Exception):
+        pass
+
+    try:
+        job = manager.submit("Who is the tallest player?", "a")
+        assert job.wait(30) and job.result.ok
+        # The crash path (a non-ReproError escaping the engine) resolves
+        # the job with a worker-phase error instead of killing the lane.
+        crash = manager._crash_result(job, 0, Boom("engine exploded"))
+        assert crash.kind == "error"
+        assert crash.trace.errors[0].phase == "worker"
+        assert "Boom" in crash.error
+        counters = session.metrics_registry.counters()
+        assert counters["serve_worker_failures_total"] == 1
+    finally:
+        manager.close()
+
+
+# ----------------------------------------------------------------------
+# Load-test harness
+# ----------------------------------------------------------------------
+
+def test_percentile_nearest_rank():
+    assert percentile([], 99) == 0.0
+    assert percentile([5.0], 50) == 5.0
+    samples = list(range(1, 101))
+    assert percentile(samples, 50) == 50
+    assert percentile(samples, 99) == 99
+    assert percentile(samples, 100) == 100
+
+
+def test_loadtest_smoke_writes_record(tmp_path):
+    output = tmp_path / "BENCH_serve.json"
+    record = run_loadtest(LoadTestConfig(
+        dataset="rotowire", scale=1.0, clients=2, repeats=1,
+        workers=2, queue_depth=4, per_client_limit=4,
+        llm_latency_ms=0.0, burst_factor=2,
+        output=str(output), quiet=True))
+    assert output.exists()
+    on_disk = json.loads(output.read_text())
+    assert on_disk["benchmark"] == "serve_loadtest"
+    for name in ("cold", "warm"):
+        record_pass = record["passes"][name]
+        assert record_pass["requests"] > 0
+        assert record_pass["errors"] == 0
+        assert record_pass["p99_ms"] >= record_pass["p50_ms"] > 0
+    burst = record["burst"]
+    assert burst["submitted"] == 8
+    assert burst["accepted"] + burst["rejected_429"] == burst["submitted"]
+    assert burst["other_status"] == 0 and burst["unresolved"] == 0
+    assert record["metrics"]["counters"]["serve_jobs_completed_total"] > 0
+    ok, problems = healthy(record)
+    assert ok, problems
+
+
+def test_loadtest_healthy_flags_problems():
+    bad = {
+        "passes": {"warm": {"errors": 2, "error_outcomes": ["http_500"]}},
+        "burst": {"submitted": 4, "accepted": 1, "rejected_429": 2,
+                  "other_status": 1, "unresolved": 1},
+    }
+    ok, problems = healthy(bad)
+    assert not ok
+    assert len(problems) == 4
