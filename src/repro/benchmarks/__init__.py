@@ -6,15 +6,19 @@ at each requested worker count and emits ``BENCH_parallel.json`` — the
 machine-readable throughput record CI uploads on every run.
 """
 
+from repro.benchmarks.cachewarm import (CacheBenchConfig,
+                                        run_cache_benchmark)
 from repro.benchmarks.harness import BenchConfig, main, run_benchmark
 from repro.benchmarks.workloads import (WORKLOADS, workload,
                                         workload_datasets)
 
 __all__ = [
     "BenchConfig",
+    "CacheBenchConfig",
     "WORKLOADS",
     "main",
     "run_benchmark",
+    "run_cache_benchmark",
     "workload",
     "workload_datasets",
 ]

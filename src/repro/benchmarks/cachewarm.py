@@ -1,0 +1,288 @@
+"""The ``repro cache-bench`` harness: cold-replica warm-up strategies.
+
+The question this benchmark answers: a **fresh replica** — new process,
+new machine, empty local caches — must serve the fixed workload; how
+long until it has?  Three legs, each on a brand-new
+:class:`~repro.session.Session`:
+
+- ``file_only`` — the replica has nothing: no cache files, no tier.  It
+  pays the full cold cost (every plan is a simulated-latency LLM round
+  trip, every modality answer is real inference), then saves its caches
+  to files — which is exactly what a fresh machine joining a file-based
+  fleet must do before restarts get cheap.
+- ``file_restart`` — the same-machine restart: a fresh session
+  rehydrates the files the first leg saved, then runs.  Recorded as the
+  ungated reference — files solve restarts on *one* machine, and this
+  leg shows how well.
+- ``shared_tier`` — the fresh replica connects to a cache tier
+  (:mod:`repro.cachenet`) another session already warmed, and pulls
+  exactly the plans and answers its queries touch over the socket.
+  Warmth crosses the process/machine boundary without any file shipping.
+
+The committed gate (CI's ``cache-tier`` job) is
+``speedup_shared_vs_file_only >= 2``: joining an already-warm fleet must
+beat re-deriving the warm set from scratch by at least 2x.  Results land
+in ``BENCH_cache.json`` (``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.benchmarks.workloads import WORKLOAD_VERSION, workload
+from repro.cachenet import CacheTierServer
+from repro.cliargs import positive_float, positive_int
+from repro.datasets import DATASET_NAMES, load_lake
+from repro.llm.brain import SimulatedBrain
+from repro.session import Session
+
+#: Format marker written into the benchmark record.
+CACHE_BENCH_FORMAT = "repro-cache-bench/v1"
+
+DEFAULT_SCALE = 5.0
+DEFAULT_LLM_LATENCY_MS = 10.0
+DEFAULT_OUTPUT = "BENCH_cache.json"
+
+#: The CI gate: a cold replica warming from the shared tier must be at
+#: least this much faster than one re-deriving the warm set cold.
+GATE_MIN_SPEEDUP = 2.0
+
+_LEG_DESCRIPTIONS = {
+    "file_only": (
+        "fresh replica, no warm state anywhere: full cold run (LLM "
+        "planning latency + real modality inference), then saves cache "
+        "files — what a new machine joining a file-based fleet pays"),
+    "file_restart": (
+        "same-machine restart: fresh session rehydrates the cache files "
+        "the cold leg saved, then runs (ungated reference — files only "
+        "help where they already are)"),
+    "shared_tier": (
+        "fresh replica joins an already-warm cache tier over the socket "
+        "and pulls exactly what its queries touch — the gated leg"),
+}
+
+
+@dataclass
+class CacheBenchConfig:
+    """One cache-warm-up benchmark invocation."""
+
+    dataset: str = "artwork"
+    scale: float = DEFAULT_SCALE
+    seed: int | None = None
+    repeats: int = 1
+    #: simulated LLM latency per planner/mapper call: cold planning cost
+    #: is what the warm strategies amortize, so it must be realistic.
+    llm_latency_ms: float = DEFAULT_LLM_LATENCY_MS
+    #: an external tier to benchmark against; ``None`` starts a private
+    #: in-process :class:`~repro.cachenet.CacheTierServer`.
+    cache_url: str | None = None
+    output: str | None = DEFAULT_OUTPUT
+    quiet: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.repeats <= 0:
+            raise ValueError(f"repeats must be positive, got {self.repeats}")
+        if self.llm_latency_ms < 0:
+            raise ValueError("llm latency must be non-negative")
+
+
+def _say(config: CacheBenchConfig, message: str) -> None:
+    if not config.quiet:
+        print(f"[cache-bench] {message}", flush=True)
+
+
+def run_cache_benchmark(config: CacheBenchConfig) -> dict:
+    """Run the three warm-up legs and return the JSON record."""
+    lake = load_lake(config.dataset, seed=config.seed, scale=config.scale)
+    queries = workload(config.dataset, config.repeats)
+    latency = config.llm_latency_ms / 1000.0
+
+    def fresh_session(cache_url: str | None = None) -> Session:
+        return Session(lake, brain=SimulatedBrain(latency_seconds=latency),
+                       cache_url=cache_url)
+
+    server: CacheTierServer | None = None
+    if config.cache_url is None:
+        server = CacheTierServer(bind="tcp://127.0.0.1:0").start()
+        cache_url = server.url
+    else:
+        cache_url = config.cache_url
+
+    legs: dict[str, dict] = {}
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-cache-bench-") \
+                as tmpdir:
+            plan_file = str(Path(tmpdir) / "plans.json")
+            answer_file = str(Path(tmpdir) / "answers.json")
+
+            # Leg 1: nothing is warm anywhere.  Save files afterwards
+            # (outside the clock — the restart leg pays for *loading*).
+            _say(config, f"leg file_only: {len(queries)} queries, cold")
+            session = fresh_session()
+            started = time.perf_counter()
+            report = session.batch(queries)
+            elapsed = time.perf_counter() - started
+            legs["file_only"] = _leg_record(report, elapsed)
+            session.save_plan_cache(plan_file)
+            session.save_answer_cache(answer_file)
+            session.close()
+
+            # Leg 2: same-machine restart over the files just saved;
+            # rehydration is part of the measured warm-up.
+            _say(config, "leg file_restart: rehydrate files + run")
+            session = fresh_session()
+            started = time.perf_counter()
+            session.load_plan_cache(plan_file)
+            session.load_answer_cache(answer_file)
+            report = session.batch(queries)
+            elapsed = time.perf_counter() - started
+            legs["file_restart"] = _leg_record(report, elapsed)
+            session.close()
+
+        # Warm the tier (a prior fleet member's traffic; not timed).
+        _say(config, f"warming tier at {cache_url}")
+        producer = fresh_session(cache_url=cache_url)
+        producer.batch(queries)
+        producer.close()
+
+        # Leg 3: the fresh replica joins the warm tier cold.
+        _say(config, "leg shared_tier: cold replica pulls from the tier")
+        session = fresh_session(cache_url=cache_url)
+        started = time.perf_counter()
+        report = session.batch(queries)
+        elapsed = time.perf_counter() - started
+        cachenet = {name: value for name, value
+                    in session.metrics().get("counters", {}).items()
+                    if name.startswith("cachenet_")}
+        legs["shared_tier"] = _leg_record(report, elapsed,
+                                          cachenet=cachenet)
+        session.close()
+    finally:
+        if server is not None:
+            server.stop()
+
+    for name, leg in legs.items():
+        leg["description"] = _LEG_DESCRIPTIONS[name]
+    shared = legs["shared_tier"]["elapsed_seconds"]
+    record = {
+        "format": CACHE_BENCH_FORMAT,
+        "workload_version": WORKLOAD_VERSION,
+        "dataset": config.dataset,
+        "scale": config.scale,
+        "seed": config.seed,
+        "repeats": config.repeats,
+        "queries": len(queries),
+        "llm_latency_ms": config.llm_latency_ms,
+        "legs": legs,
+        "speedup_shared_vs_file_only": _speedup(
+            legs["file_only"]["elapsed_seconds"], shared),
+        "speedup_file_restart_vs_file_only": _speedup(
+            legs["file_only"]["elapsed_seconds"],
+            legs["file_restart"]["elapsed_seconds"]),
+        "gate": {
+            "metric": "speedup_shared_vs_file_only",
+            "min_speedup": GATE_MIN_SPEEDUP,
+        },
+    }
+    record["gate"]["passed"] = (
+        record["speedup_shared_vs_file_only"] >= GATE_MIN_SPEEDUP)
+    _say(config,
+         f"shared tier {record['speedup_shared_vs_file_only']:.1f}x vs "
+         f"cold, file restart "
+         f"{record['speedup_file_restart_vs_file_only']:.1f}x vs cold "
+         f"(gate: >= {GATE_MIN_SPEEDUP:g}x "
+         f"{'passed' if record['gate']['passed'] else 'FAILED'})")
+    if config.output:
+        Path(config.output).write_text(
+            json.dumps(record, indent=2) + "\n", encoding="utf-8")
+        _say(config, f"wrote {config.output}")
+    return record
+
+
+def _leg_record(report, elapsed: float, cachenet: dict | None = None) -> dict:
+    leg = {
+        "elapsed_seconds": round(elapsed, 6),
+        "queries": report.num_queries,
+        "errors": report.num_errors,
+        "queries_per_second": (round(report.num_queries / elapsed, 3)
+                               if elapsed > 0 else 0.0),
+        "plan_cache": {"hits": report.cache_hits,
+                       "misses": report.cache_misses},
+        "answer_cache": {"hits": report.answer_hits,
+                         "misses": report.answer_misses},
+    }
+    if cachenet is not None:
+        leg["cachenet"] = cachenet
+    return leg
+
+
+def _speedup(baseline: float, measured: float) -> float:
+    return round(baseline / measured, 3) if measured > 0 else 0.0
+
+
+# ----------------------------------------------------------------------
+# CLI (``repro cache-bench``)
+# ----------------------------------------------------------------------
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro cache-bench",
+        description="Benchmark cold-replica warm-up: shared cache tier "
+                    "vs cache files vs nothing (see BENCH_cache.json).")
+    parser.add_argument("--dataset", default="artwork",
+                        choices=DATASET_NAMES,
+                        help="which synthetic dataset to load "
+                             "(default: artwork)")
+    parser.add_argument("--scale", type=positive_float,
+                        default=DEFAULT_SCALE,
+                        help=f"lake scale factor (default: "
+                             f"{DEFAULT_SCALE:g})")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="dataset generation seed")
+    parser.add_argument("--repeats", type=positive_int, default=1,
+                        help="workload repetitions per leg (default: 1)")
+    parser.add_argument("--llm-latency-ms", type=positive_float,
+                        default=DEFAULT_LLM_LATENCY_MS,
+                        help=f"simulated LLM latency per planner call "
+                             f"(default: {DEFAULT_LLM_LATENCY_MS:g})")
+    parser.add_argument("--cache-url", metavar="URL", default=None,
+                        help="benchmark against this running cache tier "
+                             "(default: a private in-process server)")
+    parser.add_argument("--output", metavar="PATH", default=DEFAULT_OUTPUT,
+                        help=f"where to write the JSON record (default: "
+                             f"{DEFAULT_OUTPUT})")
+    parser.add_argument("--gate", action="store_true",
+                        help=f"exit non-zero unless the shared tier is "
+                             f">= {GATE_MIN_SPEEDUP:g}x faster than the "
+                             f"cold leg (the CI gate)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    config = CacheBenchConfig(
+        dataset=args.dataset, scale=args.scale, seed=args.seed,
+        repeats=args.repeats, llm_latency_ms=args.llm_latency_ms,
+        cache_url=args.cache_url, output=args.output, quiet=args.quiet)
+    record = run_cache_benchmark(config)
+    if args.gate and not record["gate"]["passed"]:
+        print(f"cache-bench gate FAILED: shared tier is only "
+              f"{record['speedup_shared_vs_file_only']:.2f}x faster than "
+              f"the cold leg (need >= {GATE_MIN_SPEEDUP:g}x)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""repro.cachenet — the shared cache tier.
+
+A stdlib-only cache server plus client-side drop-in caches, so every
+lane, process, and replica shares one warm set of plans and modality
+answers instead of re-paying warm-up per process.  See
+:mod:`repro.cachenet.protocol` for the wire contract,
+:mod:`repro.cachenet.server` for the tier itself, and
+:mod:`repro.cachenet.client` for ``Session(cache_url=...)``'s plumbing.
+"""
+
+from repro.cachenet.client import (CacheClient, RemoteAnswerCache,
+                                   RemotePlanCache)
+from repro.cachenet.protocol import (PROTOCOL_NAME, PROTOCOL_VERSION,
+                                     CacheNetError, CacheProtocolError,
+                                     CacheUnavailable, FrameError,
+                                     parse_cache_url)
+from repro.cachenet.server import CacheTierServer
+
+__all__ = [
+    "CacheClient",
+    "CacheNetError",
+    "CacheProtocolError",
+    "CacheTierServer",
+    "CacheUnavailable",
+    "FrameError",
+    "PROTOCOL_NAME",
+    "PROTOCOL_VERSION",
+    "RemoteAnswerCache",
+    "RemotePlanCache",
+    "parse_cache_url",
+]

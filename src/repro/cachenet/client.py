@@ -1,0 +1,350 @@
+"""Client side of the cache tier: RPC plumbing + drop-in caches.
+
+:class:`CacheClient` owns one socket to a :class:`~repro.cachenet.server.
+CacheTierServer` — lazy connect, version handshake, bounded connect and
+request timeouts, retry-with-backoff, and a cooldown "down" state so a
+dead server costs one failed connect per cooldown window instead of one
+per lookup.  Transport failures surface as
+:class:`~repro.cachenet.protocol.CacheUnavailable`; a protocol/version
+mismatch surfaces as :class:`~repro.cachenet.protocol.CacheProtocolError`
+and is deliberately *not* retried or absorbed (see the protocol module).
+
+:class:`RemotePlanCache` and :class:`RemoteAnswerCache` subclass the
+process-local caches, so everything that takes a ``PlanCache`` /
+``AnswerCache`` — the engine, ``execute_batch``, worker lanes, ``save``
+persistence — takes them unchanged.  The inherited LRU acts as a local
+write-through front: a ``get`` that hits locally never touches the wire;
+a local miss asks the tier and installs the reply locally; a ``put``
+installs locally then forwards best-effort.  When the tier is
+unreachable both degrade to plain local caches, counting each degraded
+operation in ``cachenet_fallbacks`` — a down server slows warm-up, it
+never fails a query.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.cachenet.protocol import (CacheUnavailable, FrameError,
+                                     check_hello_reply, hello_request,
+                                     parse_cache_url, read_frame,
+                                     write_frame)
+from repro.core.answer_cache import MISS, AnswerCache, AnswerKey
+from repro.core.batch import PlanCache
+from repro.core.plan import LogicalPlan
+from repro.data.datatypes import decode_scalar, encode_scalar
+from repro.obs.metrics import MetricsRegistry
+
+
+class CacheClient:
+    """One connection to the cache tier, shared by both remote caches.
+
+    Thread-safe: the strict request/response protocol is serialized
+    under one lock, so any number of engine threads may share a client.
+    All timeouts are bounded; *retries* transport failures are absorbed
+    with *backoff* sleeps in between, after which the client enters a
+    *down_cooldown*-second down state in which every call fails fast
+    with :class:`CacheUnavailable` (no connect attempts) — then the next
+    call probes again.
+    """
+
+    def __init__(self, url: str, connect_timeout: float = 0.5,
+                 request_timeout: float = 2.0, retries: int = 2,
+                 backoff: float = 0.05, down_cooldown: float = 1.0,
+                 metrics: MetricsRegistry | None = None):
+        self.url = url
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.down_cooldown = down_cooldown
+        self.metrics = metrics
+        self._family, self._address = parse_cache_url(url)
+        self._lock = threading.RLock()
+        self._sock: socket.socket | None = None
+        self._down_until = 0.0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._family == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(self.connect_timeout)
+        try:
+            sock.connect(self._address)
+        except OSError:
+            sock.close()
+            raise
+        sock.settimeout(self.request_timeout)
+        try:
+            write_frame(sock, hello_request())
+            reply = read_frame(sock)
+        except (OSError, FrameError):
+            sock.close()
+            raise
+        if reply is None:
+            sock.close()
+            raise ConnectionError(f"cache server at {self.url} closed the "
+                                  f"connection during the handshake")
+        try:
+            check_hello_reply(reply, self.url)  # CacheProtocolError is
+        except Exception:                       # terminal: don't retry it
+            sock.close()
+            self._closed = True
+            raise
+        return sock
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def request(self, payload: dict) -> dict:
+        """One RPC round trip; retries transport failures, never protocol
+        errors.  Raises :class:`CacheUnavailable` when the tier cannot be
+        reached (including while in the post-failure down state)."""
+        with self._lock:
+            if self._closed:
+                raise CacheUnavailable(
+                    f"cache client for {self.url} is closed")
+            if time.monotonic() < self._down_until:
+                raise CacheUnavailable(
+                    f"cache server at {self.url} is down (cooling off)")
+            last_error: Exception | None = None
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    time.sleep(self.backoff * attempt)
+                try:
+                    if self._sock is None:
+                        self._sock = self._connect()
+                    started = time.perf_counter()
+                    write_frame(self._sock, payload)
+                    reply = read_frame(self._sock)
+                    if reply is None:
+                        raise ConnectionError(
+                            f"cache server at {self.url} closed the "
+                            f"connection mid-request")
+                    if self.metrics is not None:
+                        self.metrics.observe(
+                            "cachenet_rpc_latency",
+                            time.perf_counter() - started)
+                    return reply
+                except (OSError, FrameError, ConnectionError) as exc:
+                    last_error = exc
+                    self._drop_socket()
+                    if self.metrics is not None:
+                        self.metrics.increment("cachenet_rpc_errors")
+            self._down_until = time.monotonic() + self.down_cooldown
+            raise CacheUnavailable(
+                f"cache server at {self.url} unreachable after "
+                f"{self.retries + 1} attempts: {last_error}") from last_error
+
+    def ensure_connected(self) -> None:
+        """Probe the tier now (connect + handshake).
+
+        Raises :class:`CacheUnavailable` when the server is down and
+        :class:`~repro.cachenet.protocol.CacheProtocolError` on a version
+        mismatch — the session uses this to distinguish "degrade quietly"
+        from "fail loudly" at construction time.
+        """
+        self.request({"op": "stats"})
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_socket()
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    # Typed operations
+    # ------------------------------------------------------------------
+
+    def get_plan(self, ns: str, query: str) -> dict | None:
+        """The tier's plan dict for (*ns*, *query*), or ``None``."""
+        reply = self.request({"op": "get", "space": "plan", "ns": ns,
+                              "key": query})
+        return reply.get("value") if reply.get("hit") else None
+
+    def put_plan(self, ns: str, query: str, plan_dict: dict) -> None:
+        self.request({"op": "put", "space": "plan", "ns": ns,
+                      "key": query, "value": plan_dict})
+
+    def get_answer(self, key: AnswerKey) -> tuple[bool, object]:
+        """``(hit, decoded answer)`` for *key* from the answer space."""
+        reply = self.request({"op": "get", "space": "answer",
+                              "key": list(key)})
+        if not reply.get("hit"):
+            return False, None
+        return True, decode_scalar(reply.get("value"))
+
+    def put_answer(self, key: AnswerKey, answer: object) -> None:
+        self.request({"op": "put", "space": "answer", "key": list(key),
+                      "value": encode_scalar(answer)})
+
+    def mget(self, space: str, keys: list, ns: str | None = None) -> list:
+        request = {"op": "mget", "space": space,
+                   "keys": [{"key": key} for key in keys]}
+        if ns is not None:
+            request["ns"] = ns
+        return self.request(request).get("results", [])
+
+    def mput(self, space: str, entries: list[dict],
+             ns: str | None = None) -> int:
+        request = {"op": "mput", "space": space, "entries": entries}
+        if ns is not None:
+            request["ns"] = ns
+        return self.request(request).get("stored", 0)
+
+    def invalidate_plans(self, ns: str) -> int:
+        """Drop the tier's plans for lake namespace *ns*; returns count."""
+        reply = self.request({"op": "invalidate", "space": "plan",
+                              "ns": ns})
+        return reply.get("dropped", 0)
+
+    def stats(self) -> dict:
+        """The server's own STATS snapshot (entries, hits, counters)."""
+        return self.request({"op": "stats"}).get("stats", {})
+
+    def flush(self) -> dict:
+        """Ask the server to persist both spaces now."""
+        return self.request({"op": "flush"})
+
+
+class _RemoteCacheMixin:
+    """Shared bookkeeping for the two remote drop-ins."""
+
+    _client: CacheClient
+    _metrics: MetricsRegistry | None
+
+    def _metric(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.increment(name)
+
+    @property
+    def client(self) -> CacheClient:
+        return self._client
+
+
+class RemotePlanCache(_RemoteCacheMixin, PlanCache):
+    """A :class:`PlanCache` backed by the shared tier.
+
+    Keys stay ``(query, lake fingerprint)``; the fingerprint doubles as
+    the tier namespace, so invalidating a changed lake drops exactly its
+    plans.  Plans fetched from the tier re-enter through
+    :meth:`LogicalPlan.from_dict` — the wire carries dicts, the cache
+    holds validated IR.
+    """
+
+    def __init__(self, client: CacheClient, capacity: int = 128,
+                 metrics: MetricsRegistry | None = None):
+        super().__init__(capacity)
+        self._client = client
+        self._metrics = metrics
+
+    def _local_put(self, key: tuple[str, str], plan: LogicalPlan) -> None:
+        """Plain LRU insert: no remote forwarding, no hit/miss counting
+        (used to install tier replies without echoing them back)."""
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get(self, key: tuple[str, str]) -> LogicalPlan | None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+        query, fingerprint = key
+        try:
+            value = self._client.get_plan(ns=fingerprint, query=query)
+        except CacheUnavailable:
+            self._metric("cachenet_fallbacks")
+            value = None
+        else:
+            self._metric("cachenet_hits" if value is not None
+                         else "cachenet_misses")
+        if value is not None:
+            plan = LogicalPlan.from_dict(value)
+            self._local_put(key, plan)
+            with self._lock:
+                self._hits += 1
+            return plan
+        with self._lock:
+            self._misses += 1
+        return None
+
+    def put(self, key: tuple[str, str], plan: LogicalPlan) -> None:
+        self._local_put(key, plan)
+        query, fingerprint = key
+        try:
+            self._client.put_plan(ns=fingerprint, query=query,
+                                  plan_dict=plan.to_dict())
+        except CacheUnavailable:
+            self._metric("cachenet_fallbacks")
+
+
+class RemoteAnswerCache(_RemoteCacheMixin, AnswerCache):
+    """An :class:`AnswerCache` backed by the shared tier.
+
+    Keys are ``(object content fingerprint, question, answer type)`` —
+    self-invalidating, so the tier needs no answer-space invalidation
+    protocol: changed content produces new keys.  Values cross the wire
+    through :func:`encode_scalar`/:func:`decode_scalar`, the same codec
+    the file persistence uses.
+    """
+
+    def __init__(self, client: CacheClient, capacity: int = 65536,
+                 metrics: MetricsRegistry | None = None):
+        super().__init__(capacity)
+        self._client = client
+        self._metrics = metrics
+
+    def _local_put(self, key: AnswerKey, answer: object) -> None:
+        """Plain LRU insert; see :meth:`RemotePlanCache._local_put`."""
+        with self._lock:
+            self._entries[key] = answer
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get(self, key: AnswerKey) -> object:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+        try:
+            hit, answer = self._client.get_answer(key)
+        except CacheUnavailable:
+            self._metric("cachenet_fallbacks")
+            hit, answer = False, None
+        else:
+            self._metric("cachenet_hits" if hit else "cachenet_misses")
+        if hit:
+            self._local_put(key, answer)
+            with self._lock:
+                self._hits += 1
+            return answer
+        with self._lock:
+            self._misses += 1
+        return MISS
+
+    def put(self, key: AnswerKey, answer: object) -> None:
+        self._local_put(key, answer)
+        try:
+            self._client.put_answer(key, answer)
+        except CacheUnavailable:
+            self._metric("cachenet_fallbacks")

@@ -53,6 +53,11 @@ def _add_lake_arguments(parser: argparse.ArgumentParser) -> None:
                         help="JSON file the answer cache is loaded from (if "
                              "present) before the run and saved to after "
                              "it, so warm modality answers survive restarts")
+    parser.add_argument("--cache-url", metavar="URL", default=None,
+                        help="shared cache tier to warm from and feed "
+                             "(tcp://host:port or unix:///path.sock, see "
+                             "'repro cache-server'); a down tier degrades "
+                             "to local caches")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,6 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "loadtest", add_help=False,
         help="load-test the query service ('repro loadtest --help')")
+    subparsers.add_parser(
+        "cache-server", add_help=False,
+        help="serve the shared plan/answer cache tier "
+             "('repro cache-server --help')")
+    subparsers.add_parser(
+        "cache-bench", add_help=False,
+        help="benchmark cold-replica warm-up: shared tier vs files "
+             "('repro cache-bench --help')")
     return parser
 
 
@@ -170,7 +183,8 @@ def _build_session(args: argparse.Namespace,
     lake = load_lake(args.dataset, seed=args.seed, scale=args.scale)
     config = EngineConfig(use_discovery=not args.no_discovery)
     session = Session(lake, config=config,
-                      plan_cache_size=cache_size or 128)
+                      plan_cache_size=cache_size or 128,
+                      cache_url=getattr(args, "cache_url", None))
     if args.plan_cache_file and Path(args.plan_cache_file).exists():
         # An explicit --cache-size wins over the capacity persisted in
         # the file; otherwise the file's own capacity is kept, so a
@@ -215,9 +229,12 @@ def _run_batch(args: argparse.Namespace, path: str) -> int:
     metrics_file = getattr(args, "metrics_file", None)
     if metrics_file:
         # Same serialization as the service's GET /metrics endpoint
-        # (repro.obs.render_snapshot), so dumps and scrapes diff cleanly.
-        Path(metrics_file).write_text(render_snapshot(session.metrics()),
-                                      encoding="utf-8")
+        # (repro.obs.render_snapshot), so dumps and scrapes diff cleanly;
+        # the observability snapshot folds in the cache tier's STATS when
+        # the session has a --cache-url.
+        Path(metrics_file).write_text(
+            render_snapshot(session.observability_snapshot()),
+            encoding="utf-8")
     _finish(session, args)
     return 0 if report.num_errors == 0 else 1
 
@@ -237,6 +254,12 @@ def main(argv: list[str] | None = None) -> int:
     if argv[0] == "loadtest":
         from repro.serve.loadtest import main as loadtest_main
         return loadtest_main(argv[1:])
+    if argv[0] == "cache-server":
+        from repro.cachenet.server import main as cache_server_main
+        return cache_server_main(argv[1:])
+    if argv[0] == "cache-bench":
+        from repro.benchmarks.cachewarm import main as cache_bench_main
+        return cache_bench_main(argv[1:])
     if argv[0].startswith("-") and argv[0] not in ("--version", "-h",
                                                    "--help"):
         # Flag-style invocation (repro --dataset ... --query/--batch ...)

@@ -37,6 +37,7 @@ import threading
 from collections import OrderedDict
 from pathlib import Path
 
+from repro.core.persist import atomic_write_text
 from repro.data.datatypes import decode_scalar, encode_scalar
 
 #: Sentinel returned by :meth:`AnswerCache.get` for absent keys (``None`` is
@@ -150,7 +151,10 @@ class AnswerCache:
         :meth:`load` restores both the answers and the eviction order.
         Answers are encoded with :func:`~repro.data.datatypes.
         encode_scalar`, so dates and ``None`` ("the text does not say")
-        survive the round trip.  Returns the number of entries written.
+        survive the round trip.  The write is atomic (temp file +
+        ``os.replace``), so a save interrupted by SIGTERM — or racing
+        another save to the same path — can never leave a torn file.
+        Returns the number of entries written.
         """
         with self._lock:
             entries = [
@@ -161,8 +165,7 @@ class AnswerCache:
             ]
         payload = {"format": ANSWER_CACHE_FORMAT, "capacity": self.capacity,
                    "entries": entries}
-        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
-                              encoding="utf-8")
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
         return len(entries)
 
     @classmethod

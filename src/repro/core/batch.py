@@ -45,6 +45,7 @@ from typing import Iterable, Sequence
 
 from repro.core.answer_cache import AnswerCache
 from repro.core.engine import Engine, EngineConfig
+from repro.core.persist import atomic_write_text
 from repro.core.plan import LogicalPlan, QueryResult
 from repro.data.catalog import DataLake
 from repro.llm.interface import LanguageModel
@@ -140,6 +141,20 @@ class PlanCache:
         with self._lock:
             return list(self._entries.items())
 
+    def drop_fingerprint(self, fingerprint: str) -> int:
+        """Drop every plan cached for *fingerprint*; returns the count.
+
+        This is the invalidation primitive of the shared cache tier
+        (:mod:`repro.cachenet`): a lake whose structure changed gets its
+        namespace — exactly the plans keyed on its fingerprint — dropped,
+        leaving every other lake's plans warm.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if key[1] == fingerprint]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
@@ -149,7 +164,10 @@ class PlanCache:
 
         Entries are written in LRU order (least-recent first), so a
         :meth:`load` restores both the plans and the eviction order.
-        Returns the number of entries written.
+        The write is atomic (temp file + ``os.replace``), so a save
+        interrupted by SIGTERM — or racing another save to the same
+        path — can never leave a torn file.  Returns the number of
+        entries written.
         """
         with self._lock:
             entries = [
@@ -159,8 +177,7 @@ class PlanCache:
             ]
         payload = {"format": PLAN_CACHE_FORMAT, "capacity": self.capacity,
                    "entries": entries}
-        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
-                              encoding="utf-8")
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
         return len(entries)
 
     @classmethod

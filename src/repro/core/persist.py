@@ -1,0 +1,40 @@
+"""Atomic file writes for cache persistence.
+
+Cache files are flushed at awkward moments — a SIGTERM drain, a
+cache-server shutdown, several sessions pointed at one ``--plan-cache-
+file`` — so a plain ``write_text`` risks a reader (or the next boot)
+seeing a torn file.  :func:`atomic_write_text` closes that window: the
+payload lands in a temp file in the destination directory and is moved
+into place with :func:`os.replace`, which POSIX guarantees atomic within
+a filesystem.  A concurrent reader sees either the old complete file or
+the new complete file, never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write *text* to *path* atomically (temp file + ``os.replace``).
+
+    The temp file lives in *path*'s directory so the final rename never
+    crosses a filesystem boundary.  On any failure the temp file is
+    removed and *path* is left untouched.
+    """
+    target = Path(path)
+    handle, temp_name = tempfile.mkstemp(
+        dir=target.parent or Path("."), prefix=f".{target.name}.",
+        suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise

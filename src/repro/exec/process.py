@@ -238,14 +238,25 @@ class ProcessBackend(ExecutionBackend):
         are content fingerprints, so every lane can safely take the whole
         parent answer cache (e.g. one rehydrated from
         ``--answer-cache-file``).
+
+        With a session *cache_url*, the warm payloads ship **empty** and
+        the lane consults the shared tier lazily instead — the
+        parent→worker pipe no longer scales with cache size, and a lane
+        only pulls the entries its queries actually touch.
         """
-        plans = []
-        for (query, fp), plan in session.plan_cache.items():
-            if fp == self._plan_fingerprint:
-                plans.append({"query": query, "plan": plan.to_dict()})
-        answers = [[key[0], key[1], key[2], encode_scalar(answer)]
-                   for key, answer in session.answer_cache.items()]
+        cache_url = getattr(session, "cache_url", None)
+        if cache_url is not None:
+            plans: list = []
+            answers: list = []
+        else:
+            plans = []
+            for (query, fp), plan in session.plan_cache.items():
+                if fp == self._plan_fingerprint:
+                    plans.append({"query": query, "plan": plan.to_dict()})
+            answers = [[key[0], key[1], key[2], encode_scalar(answer)]
+                       for key, answer in session.answer_cache.items()]
         return {
+            "cache_url": cache_url,
             "lake_spec": spec.to_dict(),
             "content_fingerprint": content_fingerprint,
             "brain": session.brain,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import traceback
 
+from repro.cachenet import RemoteAnswerCache
 from repro.core.answer_cache import AnswerCache, AnswerKey
 from repro.core.batch import PlanCache
 from repro.core.engine import Engine
@@ -35,16 +36,18 @@ from repro.obs import MetricsRegistry
 _STATE: dict[str, object] = {}
 
 
-class _JournalingAnswerCache(AnswerCache):
-    """An answer cache that journals fresh puts.
+class _JournalMixin:
+    """Journals fresh ``put`` calls on top of any answer cache.
 
     Operators only ``put`` after real model inference, so the journal of
     one query is exactly the set of answers the worker just learned —
-    what gets shipped back to the parent cache.
+    what gets shipped back to the parent cache.  Tier fills on the
+    remote variant go through ``_local_put`` and are therefore *not*
+    journaled (the parent can fetch those from the tier itself).
     """
 
-    def __init__(self, capacity: int):
-        super().__init__(capacity)
+    def __init__(self, *args: object, **kwargs: object):
+        super().__init__(*args, **kwargs)
         self.journal: list[tuple[AnswerKey, object]] = []
 
     def put(self, key: AnswerKey, answer: object) -> None:
@@ -57,6 +60,14 @@ class _JournalingAnswerCache(AnswerCache):
                    for key, answer in self.journal]
         self.journal = []
         return entries
+
+
+class _JournalingAnswerCache(_JournalMixin, AnswerCache):
+    """The classic shared-nothing worker cache (no tier)."""
+
+
+class _JournalingRemoteAnswerCache(_JournalMixin, RemoteAnswerCache):
+    """Tier-backed worker cache that still journals fresh inference."""
 
 
 def initialize_worker(payload: dict) -> None:
@@ -84,19 +95,33 @@ def initialize_worker(payload: dict) -> None:
     # same-shaped lakes by design); content equality above guarantees the
     # shapes agree with the parent too.
     plan_key_fingerprint = lake.fingerprint()
-    plan_cache = PlanCache(payload["plan_cache_capacity"])
+    # Worker-local registry: per-query deltas ship back over the pipe
+    # (run_worker_query) and the parent folds them into the session
+    # registry, so session.metrics() stays complete under this backend —
+    # including the lane's own cachenet counters when a tier is in play.
+    metrics = MetricsRegistry()
+    cache_url = payload.get("cache_url")
+    if cache_url is not None:
+        # Tier mode: the init payload ships no warm entries — this lane
+        # pulls exactly what its queries touch from the shared tier, and
+        # degrades to local-only if the tier goes away mid-batch.
+        from repro.cachenet import CacheClient, RemotePlanCache
+        client = CacheClient(cache_url, metrics=metrics)
+        plan_cache = RemotePlanCache(
+            client, payload["plan_cache_capacity"], metrics=metrics)
+        answer_cache = _JournalingRemoteAnswerCache(
+            client, payload["answer_cache_capacity"], metrics=metrics)
+    else:
+        plan_cache = PlanCache(payload["plan_cache_capacity"])
+        answer_cache = _JournalingAnswerCache(
+            payload["answer_cache_capacity"])
     for entry in payload["plans"]:
         plan_cache.put((entry["query"], plan_key_fingerprint),
                        LogicalPlan.from_dict(entry["plan"]))
-    answer_cache = _JournalingAnswerCache(payload["answer_cache_capacity"])
     for fingerprint_, question, answer_type, answer in payload["answers"]:
         answer_cache.put((fingerprint_, question, answer_type),
                          decode_scalar(answer))
     answer_cache.journal = []  # seeding is not fresh inference
-    # Worker-local registry: per-query deltas ship back over the pipe
-    # (run_worker_query) and the parent folds them into the session
-    # registry, so session.metrics() stays complete under this backend.
-    metrics = MetricsRegistry()
     engine = Engine(lake, model=payload["brain"], config=payload["config"],
                     planner=payload["planner"], mapper=payload["mapper"],
                     executor=payload["executor"], plan_cache=plan_cache,

@@ -153,6 +153,7 @@ class MetricsRegistry:
                                         "plan_cache_misses"),
             "answer_cache_hit_rate": rate("answer_cache_hits",
                                           "answer_cache_misses"),
+            "cachenet_hit_rate": rate("cachenet_hits", "cachenet_misses"),
             "queries_per_second": (round(queries / elapsed, 3)
                                    if elapsed > 0 else 0.0),
         }

@@ -82,6 +82,9 @@ class ServeConfig:
     #: cache persistence files flushed on graceful drain.
     plan_cache_file: str | None = None
     answer_cache_file: str | None = None
+    #: shared cache tier the served session connects to
+    #: (:mod:`repro.cachenet`); ``None`` = local caches only.
+    cache_url: str | None = None
 
 
 class _BadRequest(Exception):
@@ -163,6 +166,7 @@ class QueryServer:
         self._stopped = asyncio.Event()
         self._drain_started = False
         self._drain_lock = threading.Lock()
+        self._caches_flushed = False
         self._connections: set[asyncio.Task] = set()
         self.port: int | None = None
 
@@ -214,10 +218,28 @@ class QueryServer:
         return completed
 
     def _flush_caches(self) -> None:
+        """Persist the session caches exactly once per server lifetime.
+
+        Every shutdown path converges here — the signal handlers (both
+        SIGTERM and SIGINT may fire), an explicit
+        :meth:`ServerHandle.drain`, and their races — so the flush
+        itself carries the once-guard rather than trusting every caller,
+        and entry counts are logged at flush time so an operator can see
+        from the drain log exactly what survived to disk.
+        """
+        with self._drain_lock:
+            if self._caches_flushed:
+                return
+            self._caches_flushed = True
         if self.config.plan_cache_file:
-            self.session.save_plan_cache(self.config.plan_cache_file)
+            count = self.session.save_plan_cache(self.config.plan_cache_file)
+            print(f"flushed {count} plan-cache entries -> "
+                  f"{self.config.plan_cache_file}", flush=True)
         if self.config.answer_cache_file:
-            self.session.save_answer_cache(self.config.answer_cache_file)
+            count = self.session.save_answer_cache(
+                self.config.answer_cache_file)
+            print(f"flushed {count} answer-cache entries -> "
+                  f"{self.config.answer_cache_file}", flush=True)
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -299,7 +321,10 @@ class QueryServer:
 
     def _respond_metrics(self, writer: asyncio.StreamWriter,
                          keep: bool) -> bool:
-        body = render_snapshot(self.session.metrics()).encode("utf-8")
+        # observability_snapshot = session metrics + the cache tier's own
+        # STATS (when connected), so tier hit ratios ride the same body.
+        body = render_snapshot(
+            self.session.observability_snapshot()).encode("utf-8")
         head = (f"HTTP/1.1 200 OK\r\n"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
@@ -503,6 +528,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--answer-cache-file", metavar="PATH", default=None,
                         help="answer-cache JSON loaded at boot (if "
                              "present) and flushed on graceful drain")
+    parser.add_argument("--cache-url", metavar="URL", default=None,
+                        help="shared cache tier to warm from and feed "
+                             "(tcp://host:port or unix:///path.sock, see "
+                             "'repro cache-server'); a down tier degrades "
+                             "to local caches")
     return parser
 
 
@@ -517,7 +547,8 @@ def build_session(args: argparse.Namespace) -> "Session":
     latency_ms = getattr(args, "llm_latency_ms", None)
     brain = (SimulatedBrain(latency_seconds=latency_ms / 1000.0)
              if latency_ms else None)
-    session = Session(lake, brain=brain)
+    session = Session(lake, brain=brain,
+                      cache_url=getattr(args, "cache_url", None))
     plan_file = getattr(args, "plan_cache_file", None)
     if plan_file and Path(plan_file).exists():
         session.load_plan_cache(plan_file)
@@ -536,7 +567,8 @@ def main(argv: list[str] | None = None) -> int:
         job_timeout_s=args.job_timeout_s,
         drain_grace_s=args.drain_grace_s,
         plan_cache_file=args.plan_cache_file,
-        answer_cache_file=args.answer_cache_file)
+        answer_cache_file=args.answer_cache_file,
+        cache_url=args.cache_url)
     session = build_session(args)
 
     async def _serve() -> bool:

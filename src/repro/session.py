@@ -45,6 +45,7 @@ from repro.core.engine import Engine, EngineConfig
 from repro.core.interfaces import Executor, Mapper, Planner
 from repro.core.plan import QueryResult
 from repro.data.catalog import DataLake
+from repro.data.datatypes import encode_scalar
 from repro.llm.brain import SimulatedBrain
 from repro.llm.interface import LanguageModel, Transcript
 from repro.obs import MetricsRegistry, TelemetryConfig
@@ -75,6 +76,19 @@ class Session:
     from the brain).  Session-lifetime counters and latency histograms
     accumulate in :attr:`metrics_registry` regardless; :meth:`metrics`
     returns their deterministic snapshot.
+
+    *cache_url* points the session at a shared cache tier
+    (:mod:`repro.cachenet` — ``tcp://host:port`` or ``unix:///path``,
+    served by ``repro cache-server``): the default caches become
+    :class:`~repro.cachenet.RemotePlanCache` /
+    :class:`~repro.cachenet.RemoteAnswerCache` — local LRU fronts over
+    the tier — so this session warms from, and contributes to, the
+    fleet-wide warm set.  A server that is down degrades the session to
+    local-only operation (counted in ``cachenet_fallbacks``, never
+    failing a query); a protocol-version mismatch raises
+    :class:`~repro.cachenet.CacheProtocolError` here, at construction.
+    Explicit *plan_cache* / *answer_cache* instances win over
+    *cache_url*.
     """
 
     def __init__(self, lake: DataLake | str,
@@ -87,7 +101,8 @@ class Session:
                  executor: Executor | None = None,
                  plan_cache_size: int = 128,
                  answer_cache_size: int = DEFAULT_ANSWER_CACHE_SIZE,
-                 telemetry: TelemetryConfig | None = None):
+                 telemetry: TelemetryConfig | None = None,
+                 cache_url: str | None = None):
         if isinstance(lake, str):
             from repro.datasets import load_lake
             lake = load_lake(lake)
@@ -99,18 +114,51 @@ class Session:
         self.planner = planner
         self.mapper = mapper
         self.executor = executor
-        self.plan_cache = (plan_cache if plan_cache is not None
-                           else PlanCache(plan_cache_size))
-        self.answer_cache = (answer_cache if answer_cache is not None
-                             else AnswerCache(answer_cache_size))
         self.telemetry = telemetry or TelemetryConfig()
         #: session-lifetime :class:`~repro.obs.MetricsRegistry`; every
         #: engine (and, via shipped deltas, every process-backend worker
         #: lane) records into it.
         self.metrics_registry = MetricsRegistry()
+        self.cache_url = cache_url
+        self._cache_client = (self._connect_cache_tier(cache_url)
+                              if cache_url is not None else None)
+        if plan_cache is not None:
+            self.plan_cache = plan_cache
+        elif self._cache_client is not None:
+            from repro.cachenet import RemotePlanCache
+            self.plan_cache = RemotePlanCache(
+                self._cache_client, plan_cache_size,
+                metrics=self.metrics_registry)
+        else:
+            self.plan_cache = PlanCache(plan_cache_size)
+        if answer_cache is not None:
+            self.answer_cache = answer_cache
+        elif self._cache_client is not None:
+            from repro.cachenet import RemoteAnswerCache
+            self.answer_cache = RemoteAnswerCache(
+                self._cache_client, answer_cache_size,
+                metrics=self.metrics_registry)
+        else:
+            self.answer_cache = AnswerCache(answer_cache_size)
         self._engines: list[Engine] = []
         self._pool_lock = threading.Lock()
         self._backends: dict[str, object] = {}
+
+    def _connect_cache_tier(self, cache_url: str):
+        """Build the tier client and probe it once.
+
+        A down server is counted and tolerated (the client keeps trying
+        with a cooldown, so a tier that comes up later still gets used);
+        a protocol mismatch raises immediately — that is a deployment
+        error, not a transient.
+        """
+        from repro.cachenet import CacheClient, CacheUnavailable
+        client = CacheClient(cache_url, metrics=self.metrics_registry)
+        try:
+            client.ensure_connected()
+        except CacheUnavailable:
+            self.metrics_registry.increment("cachenet_fallbacks")
+        return client
 
     # ------------------------------------------------------------------
     # Querying
@@ -213,6 +261,36 @@ class Session:
         """
         return self.metrics_registry.snapshot()
 
+    def cachenet_stats(self) -> dict | None:
+        """The shared cache tier's own STATS snapshot, or ``None``.
+
+        ``None`` when the session has no *cache_url* or the tier is
+        currently unreachable (degraded mode never raises here).
+        """
+        if self._cache_client is None:
+            return None
+        from repro.cachenet import CacheUnavailable
+        try:
+            return self._cache_client.stats()
+        except CacheUnavailable:
+            return None
+
+    def observability_snapshot(self) -> dict:
+        """The :meth:`metrics` snapshot plus the cache tier's STATS.
+
+        The one record the service's ``GET /metrics`` endpoint and
+        ``repro batch --metrics-file`` emit (rendered with
+        :func:`repro.obs.render_snapshot`): session counters, latency
+        histograms, derived rates, and — when a tier is connected — its
+        server-side view under ``"cachenet_server"``, so tier hit ratios
+        read straight off the same document.
+        """
+        snapshot = self.metrics_registry.snapshot()
+        stats = self.cachenet_stats()
+        if stats is not None:
+            snapshot["cachenet_server"] = stats
+        return snapshot
+
     def save_plan_cache(self, path: str | Path) -> int:
         """Persist the plan cache; returns the number of entries written."""
         return self.plan_cache.save(path)
@@ -234,8 +312,24 @@ class Session:
         the number of answers loaded.  Keys are content fingerprints, so
         loading a file saved against different objects is safe — it just
         never hits.
+
+        With a *cache_url*, the loaded entries land in a fresh
+        :class:`~repro.cachenet.RemoteAnswerCache` and are published to
+        the tier (best-effort), so a file-warmed session also warms the
+        fleet.
         """
         cache = AnswerCache.load(path, capacity=capacity)
+        if self._cache_client is not None:
+            from repro.cachenet import RemoteAnswerCache
+            remote = RemoteAnswerCache(self._cache_client, cache.capacity,
+                                       metrics=self.metrics_registry)
+            entries = cache.items()
+            for key, answer in entries:
+                remote._local_put(key, answer)
+            self._publish("answer", [
+                {"key": list(key), "value": encode_scalar(answer)}
+                for key, answer in entries])
+            cache = remote
         with self._pool_lock:
             self.answer_cache = cache
             for engine in self._engines:
@@ -250,13 +344,39 @@ class Session:
         the number of plans loaded.  Cached plans are only served for
         matching ``(query, lake fingerprint)`` keys, so loading a file
         saved against a different lake is safe — it just never hits.
+
+        With a *cache_url*, the loaded plans land in a fresh
+        :class:`~repro.cachenet.RemotePlanCache` and are published to
+        the tier (best-effort), so a file-warmed session also warms the
+        fleet.
         """
         cache = PlanCache.load(path, capacity=capacity)
+        if self._cache_client is not None:
+            from repro.cachenet import RemotePlanCache
+            remote = RemotePlanCache(self._cache_client, cache.capacity,
+                                     metrics=self.metrics_registry)
+            entries = cache.items()
+            for key, plan in entries:
+                remote._local_put(key, plan)
+            self._publish("plan", [
+                {"key": query, "ns": fingerprint, "value": plan.to_dict()}
+                for (query, fingerprint), plan in entries])
+            cache = remote
         with self._pool_lock:
             self.plan_cache = cache
             for engine in self._engines:
                 engine.plan_cache = cache
         return len(cache)
+
+    def _publish(self, space: str, entries: list[dict]) -> None:
+        """Best-effort bulk upload of loaded cache entries to the tier."""
+        if not entries or self._cache_client is None:
+            return
+        from repro.cachenet import CacheUnavailable
+        try:
+            self._cache_client.mput(space, entries)
+        except CacheUnavailable:
+            self.metrics_registry.increment("cachenet_fallbacks")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -266,14 +386,18 @@ class Session:
         """Shut down backend resources (e.g. process-backend worker lanes).
 
         Idempotent; the session itself stays usable (a later batch simply
-        recreates what it needs).  Use the session as a context manager to
-        get this automatically.
+        recreates what it needs).  The cache-tier client, when any, is
+        closed for good — further cache traffic degrades to local-only
+        mode.  Use the session as a context manager to get this
+        automatically.
         """
         with self._pool_lock:
             backends = list(self._backends.values())
             self._backends.clear()
         for backend in backends:
             backend.close()
+        if self._cache_client is not None:
+            self._cache_client.close()
 
     def __enter__(self) -> "Session":
         return self

@@ -1,0 +1,409 @@
+"""The shared cache tier: protocol framing, server ops, remote caches.
+
+Server-side tests drive a real :class:`~repro.cachenet.CacheTierServer`
+over real sockets (ephemeral TCP ports, plus one unix-socket case);
+protocol tests use a plain ``socket.socketpair`` so framing is exercised
+without a server at all.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.cachenet import (CacheClient, CacheProtocolError,
+                            CacheTierServer, CacheUnavailable, FrameError,
+                            RemoteAnswerCache, RemotePlanCache,
+                            parse_cache_url)
+from repro.cachenet.protocol import (MAX_FRAME_BYTES, read_frame,
+                                     write_frame)
+from repro.core.answer_cache import MISS, AnswerCache
+from repro.core.batch import PlanCache
+from repro.core.plan import LogicalPlan
+from repro.obs import MetricsRegistry
+from repro.session import Session
+
+
+@pytest.fixture()
+def server():
+    tier = CacheTierServer(bind="tcp://127.0.0.1:0").start()
+    yield tier
+    tier.stop()
+
+
+QUERY = "How many paintings are there?"
+
+
+def make_plan(description="count paintings"):
+    return LogicalPlan.from_dict({
+        "thought": "one SQL aggregate does it",
+        "steps": [{"index": 0, "description": description,
+                   "inputs": ["paintings"], "output": "result",
+                   "new_columns": [], "params": {}}],
+    })
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = socket.socketpair()
+        write_frame(a, {"op": "hello", "n": 1})
+        assert read_frame(b) == {"op": "hello", "n": 1}
+        a.close()
+        assert read_frame(b) is None  # clean EOF at a frame boundary
+        b.close()
+
+    def test_eof_mid_frame_is_an_error(self):
+        a, b = socket.socketpair()
+        a.sendall(b"\x00\x00\x00\xff{\"tru")  # header promises 255 bytes
+        a.close()
+        with pytest.raises(FrameError, match="mid-frame|header and body"):
+            read_frame(b)
+        b.close()
+
+    def test_non_object_and_non_json_frames_rejected(self):
+        for body in (b"[1,2]", b"nonsense"):
+            a, b = socket.socketpair()
+            a.sendall(len(body).to_bytes(4, "big") + body)
+            with pytest.raises(FrameError):
+                read_frame(b)
+            a.close()
+            b.close()
+
+    def test_oversized_frame_rejected_without_reading_it(self):
+        a, b = socket.socketpair()
+        a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        with pytest.raises(FrameError, match="exceeds"):
+            read_frame(b)
+        a.close()
+        b.close()
+
+    def test_parse_cache_url_forms(self):
+        assert parse_cache_url("unix:///tmp/x.sock") == \
+            ("unix", "/tmp/x.sock")
+        assert parse_cache_url("tcp://host:9") == ("tcp", ("host", 9))
+        assert parse_cache_url("host:9") == ("tcp", ("host", 9))
+        for bad in ("unix://", "nope", "host:notaport"):
+            with pytest.raises(ValueError):
+                parse_cache_url(bad)
+
+
+# ----------------------------------------------------------------------
+# Server operations
+# ----------------------------------------------------------------------
+
+class TestServerOps:
+    def test_handshake_required_before_any_op(self, server):
+        family, address = parse_cache_url(server.url)
+        sock = socket.create_connection(address, timeout=5)
+        write_frame(sock, {"op": "stats"})
+        reply = read_frame(sock)
+        assert reply["ok"] is False and "handshake" in reply["error"]
+        sock.close()
+
+    def test_plan_space_round_trip_and_stats(self, server):
+        client = CacheClient(server.url)
+        plan = make_plan()
+        client.put_plan(ns="lake-fp", query=QUERY,
+                        plan_dict=plan.to_dict())
+        fetched = client.get_plan(ns="lake-fp", query=QUERY)
+        assert fetched == plan.to_dict()
+        assert client.get_plan(ns="other-fp", query=QUERY) is None
+        stats = client.stats()
+        assert stats["plan"]["entries"] == 1
+        assert stats["plan"]["hits"] == 1 and stats["plan"]["misses"] == 1
+        client.close()
+
+    def test_answer_space_round_trips_typed_scalars(self, server):
+        client = CacheClient(server.url)
+        # None is a legitimate cached answer ("the text does not say").
+        for value in (42, 1.5, "blue", None, True):
+            key = ("fp", f"q-{value!r}", "any")
+            client.put_answer(key, value)
+            assert client.get_answer(key) == (True, value)
+        assert client.get_answer(("fp", "never-asked", "any")) == \
+            (False, None)
+        client.close()
+
+    def test_mget_mput_batch_round_trip(self, server):
+        client = CacheClient(server.url)
+        stored = client.mput("answer", [
+            {"key": ["fp", f"q{i}", "int"], "value": i} for i in range(5)])
+        assert stored == 5
+        results = client.mget(
+            "answer", [["fp", "q1", "int"], ["fp", "q9", "int"]])
+        assert results[0] == {"ok": True, "hit": True, "value": 1}
+        assert results[1] == {"ok": True, "hit": False}
+        client.close()
+
+    def test_invalidate_drops_exactly_one_lake_namespace(self, server):
+        client = CacheClient(server.url)
+        for ns in ("lake-a", "lake-b"):
+            client.put_plan(ns=ns, query=QUERY,
+                            plan_dict=make_plan().to_dict())
+        assert client.invalidate_plans("lake-a") == 1
+        assert client.get_plan(ns="lake-a", query=QUERY) is None
+        assert client.get_plan(ns="lake-b", query=QUERY) is not None
+        client.close()
+
+    def test_lru_bound_evicts_oldest(self):
+        server = CacheTierServer(bind="tcp://127.0.0.1:0",
+                                 answer_capacity=3).start()
+        try:
+            client = CacheClient(server.url)
+            for i in range(5):
+                client.put_answer(("fp", f"q{i}", "int"), i)
+            stats = client.stats()
+            assert stats["answer"]["entries"] == 3
+            assert stats["answer"]["evictions"] == 2
+            assert client.get_answer(("fp", "q0", "int"))[0] is False
+            assert client.get_answer(("fp", "q4", "int")) == (True, 4)
+            client.close()
+        finally:
+            server.stop()
+
+    def test_malformed_request_answers_instead_of_killing_connection(
+            self, server):
+        client = CacheClient(server.url)
+        reply = client.request({"op": "get", "space": "plan"})  # no key/ns
+        assert reply["ok"] is False and "bad get request" in reply["error"]
+        reply = client.request({"op": "get", "space": "martian",
+                                "ns": "x", "key": "y"})
+        assert reply["ok"] is False
+        reply = client.request({"op": "teleport"})
+        assert reply["ok"] is False and "unknown op" in reply["error"]
+        # The connection survived all three.
+        assert client.stats()["protocol"] == "repro-cachenet/1"
+        client.close()
+
+    def test_put_validates_plan_payloads_at_the_wire(self, server):
+        client = CacheClient(server.url)
+        reply = client.request({"op": "put", "space": "plan", "ns": "x",
+                                "key": "q",
+                                "value": {"steps": [{"bogus": 1}]}})
+        assert reply["ok"] is False
+        assert client.stats()["plan"]["entries"] == 0
+        client.close()
+
+    def test_unix_socket_transport(self, tmp_path):
+        path = tmp_path / "tier.sock"
+        server = CacheTierServer(bind=f"unix://{path}").start()
+        try:
+            assert server.url == f"unix://{path}"
+            client = CacheClient(server.url)
+            client.put_answer(("fp", "q", "int"), 7)
+            assert client.get_answer(("fp", "q", "int")) == (True, 7)
+            client.close()
+        finally:
+            server.stop()
+        assert not path.exists()  # socket file cleaned up
+
+
+# ----------------------------------------------------------------------
+# Persistence: the tier reuses the standard cache-file formats
+# ----------------------------------------------------------------------
+
+class TestPersistence:
+    def test_flush_writes_standard_formats_loadable_by_local_caches(
+            self, tmp_path):
+        plan_file = tmp_path / "plans.json"
+        answer_file = tmp_path / "answers.json"
+        server = CacheTierServer(bind="tcp://127.0.0.1:0",
+                                 plan_file=str(plan_file),
+                                 answer_file=str(answer_file)).start()
+        try:
+            client = CacheClient(server.url)
+            plan = make_plan()
+            client.put_plan(ns="lake-fp", query=QUERY,
+                            plan_dict=plan.to_dict())
+            client.put_answer(("fp", "q", "int"), 3)
+            reply = client.flush()
+            assert reply == {"ok": True, "plans": 1, "answers": 1}
+            client.close()
+        finally:
+            server.stop()
+        # The files are the v1 formats the process-local caches speak.
+        plans = PlanCache.load(plan_file)
+        assert plans.get((QUERY, "lake-fp")).to_dict() == plan.to_dict()
+        answers = AnswerCache.load(answer_file)
+        assert answers.get(("fp", "q", "int")) == 3
+
+    def test_server_boots_warm_from_session_saved_files(self, tmp_path,
+                                                        artwork_lake):
+        plan_file = tmp_path / "plans.json"
+        session = Session(artwork_lake)
+        session.query("How many paintings are there?")
+        assert session.save_plan_cache(plan_file) == 1
+        session.close()
+        server = CacheTierServer(bind="tcp://127.0.0.1:0",
+                                 plan_file=str(plan_file)).start()
+        try:
+            client = CacheClient(server.url)
+            assert client.stats()["plan"]["entries"] == 1
+            fetched = client.get_plan(ns=artwork_lake.fingerprint(),
+                                      query="How many paintings are there?")
+            assert fetched is not None
+            client.close()
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Remote drop-in caches
+# ----------------------------------------------------------------------
+
+class TestRemoteCaches:
+    def test_local_front_absorbs_repeat_gets(self, server):
+        client = CacheClient(server.url)
+        cache = RemoteAnswerCache(client, capacity=8)
+        cache.put(("fp", "q", "int"), 5)
+        requests_after_put = server.stats()["requests_total"]
+        for _ in range(10):
+            assert cache.get(("fp", "q", "int")) == 5
+        # All ten hits were absorbed locally; no further wire traffic.
+        assert server.stats()["requests_total"] == requests_after_put
+        client.close()
+
+    def test_remote_hit_fills_local_front_and_counts_metrics(self, server):
+        writer = RemoteAnswerCache(CacheClient(server.url), capacity=8)
+        writer.put(("fp", "q", "int"), 5)
+        metrics = MetricsRegistry()
+        reader = RemoteAnswerCache(
+            CacheClient(server.url, metrics=metrics), capacity=8,
+            metrics=metrics)
+        assert reader.get(("fp", "q", "int")) == 5   # tier hit
+        assert reader.get(("fp", "q", "int")) == 5   # local hit
+        assert reader.get(("fp", "other", "int")) is MISS
+        counters = metrics.snapshot()["counters"]
+        assert counters["cachenet_hits"] == 1
+        assert counters["cachenet_misses"] == 1
+        hist = metrics.snapshot()["histograms"]["cachenet_rpc_latency"]
+        assert hist["count"] >= 2
+        assert reader.hits == 2 and reader.misses == 1
+
+    def test_remote_plan_cache_shares_plans_across_instances(self, server):
+        plan = make_plan()
+        key = (QUERY, "lake-fp")
+        writer = RemotePlanCache(CacheClient(server.url), capacity=8)
+        writer.put(key, plan)
+        reader = RemotePlanCache(CacheClient(server.url), capacity=8)
+        fetched = reader.get(key)
+        assert fetched is not None
+        assert fetched.to_dict() == plan.to_dict()
+        assert reader.get(("unknown query", "lake-fp")) is None
+
+    def test_remote_caches_save_in_standard_format(self, server, tmp_path):
+        cache = RemoteAnswerCache(CacheClient(server.url), capacity=8)
+        cache.put(("fp", "q", "int"), 5)
+        path = tmp_path / "answers.json"
+        assert cache.save(path) == 1
+        assert json.loads(path.read_text())["format"] == \
+            "repro-answer-cache/v1"
+        assert AnswerCache.load(path).get(("fp", "q", "int")) == 5
+
+
+# ----------------------------------------------------------------------
+# Sessions sharing warmth through the tier
+# ----------------------------------------------------------------------
+
+class TestSessionIntegration:
+    def test_second_session_starts_warm_from_the_tier(self, server,
+                                                      artwork_lake):
+        query = "How many paintings are there?"
+        first = Session(artwork_lake, cache_url=server.url)
+        first.query(query)
+        first.close()
+
+        second = Session(artwork_lake, cache_url=server.url)
+        result = second.query(query)
+        assert result.ok
+        counters = second.metrics()["counters"]
+        assert counters["cachenet_hits"] >= 1
+        assert second.plan_cache.hits >= 1  # served through the drop-in
+        second.close()
+
+    def test_observability_snapshot_carries_server_stats(self, server,
+                                                         artwork_lake):
+        session = Session(artwork_lake, cache_url=server.url)
+        session.query("How many paintings are there?")
+        snapshot = session.observability_snapshot()
+        assert snapshot["cachenet_server"]["plan"]["entries"] >= 1
+        assert "cachenet_hit_rate" in snapshot["derived"]
+        # The plain metrics snapshot stays purely local.
+        assert "cachenet_server" not in session.metrics()
+        session.close()
+
+    def test_loaded_cache_files_are_published_to_the_tier(
+            self, server, artwork_lake, tmp_path):
+        query = "How many paintings are there?"
+        producer = Session(artwork_lake)
+        producer.query(query)
+        plan_file = tmp_path / "plans.json"
+        producer.save_plan_cache(plan_file)
+        producer.close()
+
+        publisher = Session(artwork_lake, cache_url=server.url)
+        assert publisher.load_plan_cache(plan_file) == 1
+        assert isinstance(publisher.plan_cache, RemotePlanCache)
+        publisher.close()
+        client = CacheClient(server.url)
+        assert client.stats()["plan"]["entries"] == 1
+        client.close()
+
+    def test_explicit_cache_instances_win_over_cache_url(self, server,
+                                                         artwork_lake):
+        local = PlanCache(4)
+        session = Session(artwork_lake, cache_url=server.url,
+                          plan_cache=local)
+        assert session.plan_cache is local
+        assert isinstance(session.answer_cache, RemoteAnswerCache)
+        session.close()
+
+
+# ----------------------------------------------------------------------
+# Concurrency: many clients, one tier
+# ----------------------------------------------------------------------
+
+def test_concurrent_clients_hammering_one_server(server):
+    errors = []
+
+    def worker(worker_id: int) -> None:
+        try:
+            client = CacheClient(server.url)
+            for i in range(20):
+                key = ("fp", f"w{worker_id}-q{i}", "int")
+                client.put_answer(key, i)
+                assert client.get_answer(key) == (True, i)
+            client.close()
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    stats = server.stats()
+    assert stats["answer"]["hits"] == 160
+    assert stats["connections_total"] == 8
+
+
+def test_version_mismatch_closes_with_clear_error(server, monkeypatch):
+    # Speak a bumped protocol version by patching the handshake frame the
+    # client sends; the server must refuse and say which side to upgrade.
+    import repro.cachenet.client as client_module
+    monkeypatch.setattr(
+        client_module, "hello_request",
+        lambda: {"op": "hello", "protocol": "repro-cachenet",
+                 "version": 999})
+    client = CacheClient(server.url)
+    with pytest.raises(CacheProtocolError, match="upgrade the older"):
+        client.ensure_connected()
+    # A protocol mismatch is terminal, not retried: the client closes.
+    with pytest.raises(CacheUnavailable, match="closed"):
+        client.request({"op": "stats"})

@@ -363,3 +363,68 @@ def test_metrics_endpoint_matches_render_snapshot(serve, rotowire_lake):
     assert "serve_job_latency" in snapshot["histograms"]
     raw.close()
     client.close()
+
+
+def test_shutdown_flushes_caches_exactly_once(serve, rotowire_lake,
+                                              tmp_path, capsys):
+    """Every shutdown path converges on one flush: a drain racing a
+    signal (or a second explicit drain) must not save the caches twice.
+    """
+    plan_file = tmp_path / "plans.json"
+    session = Session(rotowire_lake)
+    handle = serve(session, plan_cache_file=str(plan_file))
+    client = Client(handle)
+    _, _, body = client.request(
+        "POST", "/queries", {"query": "How many players are taller than 200?"})
+    client.poll_done(body["id"])
+    client.close()
+
+    saves = []
+    original = Session.save_plan_cache
+
+    def counting_save(self, path):
+        saves.append(path)
+        return original(self, path)
+
+    Session.save_plan_cache = counting_save
+    try:
+        assert handle.drain(timeout=60) is True
+        # A racing signal handler lands here after the drain already
+        # flushed; the once-guard absorbs it.
+        handle.server._flush_caches()
+        handle.server._flush_caches()
+    finally:
+        Session.save_plan_cache = original
+    assert saves == [str(plan_file)]
+    assert plan_file.exists()
+    # The flush log names the entry count and destination.
+    out = capsys.readouterr().out
+    assert f"flushed 1 plan-cache entries -> {plan_file}" in out
+
+
+def test_serve_with_cache_tier_shares_warmth(serve, rotowire_lake):
+    """A server built with cache_url pulls plans another session left in
+    the tier, and /metrics exposes both client counters and the server's
+    own STATS block."""
+    from repro.cachenet import CacheTierServer
+    tier = CacheTierServer(bind="tcp://127.0.0.1:0").start()
+    try:
+        query = "How many players are taller than 200?"
+        with Session(rotowire_lake, cache_url=tier.url) as producer:
+            producer.query(query)
+        session = Session(rotowire_lake, cache_url=tier.url)
+        handle = serve(session)
+        client = Client(handle)
+        _, _, body = client.request("POST", "/queries", {"query": query})
+        done = client.poll_done(body["id"])
+        assert done["ok"] is True
+        raw = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                         timeout=30)
+        raw.request("GET", "/metrics")
+        snapshot = json.loads(raw.getresponse().read().decode("utf-8"))
+        assert snapshot["counters"]["cachenet_hits"] >= 1
+        assert snapshot["cachenet_server"]["plan"]["entries"] >= 1
+        raw.close()
+        client.close()
+    finally:
+        tier.stop()
