@@ -74,14 +74,17 @@ class CacheClient:
     def _connect(self) -> socket.socket:
         if self._family == "unix":
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.connect_timeout)
+            try:
+                sock.connect(self._address)
+            except OSError:
+                sock.close()
+                raise
         else:
-            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.settimeout(self.connect_timeout)
-        try:
-            sock.connect(self._address)
-        except OSError:
-            sock.close()
-            raise
+            # create_connection resolves hostnames and handles IPv4 and
+            # IPv6 literals alike (cleaning up after itself on failure).
+            sock = socket.create_connection(
+                self._address, timeout=self.connect_timeout)
         sock.settimeout(self.request_timeout)
         try:
             write_frame(sock, hello_request())
@@ -112,23 +115,48 @@ class CacheClient:
     def request(self, payload: dict) -> dict:
         """One RPC round trip; retries transport failures, never protocol
         errors.  Raises :class:`CacheUnavailable` when the tier cannot be
-        reached (including while in the post-failure down state)."""
-        with self._lock:
-            if self._closed:
-                raise CacheUnavailable(
-                    f"cache client for {self.url} is closed")
-            if time.monotonic() < self._down_until:
-                raise CacheUnavailable(
-                    f"cache server at {self.url} is down (cooling off)")
-            last_error: Exception | None = None
-            for attempt in range(self.retries + 1):
-                if attempt:
-                    time.sleep(self.backoff * attempt)
+        reached (including while in the post-failure down state).
+
+        The down/closed checks run *before* the socket lock, and the
+        backoff sleeps run *outside* it, so while one thread probes a
+        dead server its peers fail fast in parallel instead of queueing
+        behind the probe; a reconnect attempt additionally pre-marks the
+        client down (cleared on success) so even threads that raced past
+        the entry check bail out on their next call.
+        """
+        if self._closed:
+            raise CacheUnavailable(
+                f"cache client for {self.url} is closed")
+        if time.monotonic() < self._down_until:
+            raise CacheUnavailable(
+                f"cache server at {self.url} is down (cooling off)")
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff * attempt)
+            with self._lock:
+                if self._closed:
+                    raise CacheUnavailable(
+                        f"cache client for {self.url} is closed")
                 try:
                     if self._sock is None:
+                        # Probing: concurrent callers see the down mark
+                        # and fail fast while this thread reconnects.
+                        self._down_until = (time.monotonic()
+                                            + self.down_cooldown)
                         self._sock = self._connect()
+                        self._down_until = 0.0
                     started = time.perf_counter()
-                    write_frame(self._sock, payload)
+                    try:
+                        write_frame(self._sock, payload)
+                    except FrameError as exc:
+                        # Raised by the local size check before any bytes
+                        # hit the wire: the payload itself violates the
+                        # protocol, so no retry can succeed and the
+                        # (healthy) connection is worth keeping.
+                        raise CacheUnavailable(
+                            f"request to {self.url} exceeds the protocol "
+                            f"frame limit: {exc}") from exc
                     reply = read_frame(self._sock)
                     if reply is None:
                         raise ConnectionError(
@@ -144,10 +172,10 @@ class CacheClient:
                     self._drop_socket()
                     if self.metrics is not None:
                         self.metrics.increment("cachenet_rpc_errors")
-            self._down_until = time.monotonic() + self.down_cooldown
-            raise CacheUnavailable(
-                f"cache server at {self.url} unreachable after "
-                f"{self.retries + 1} attempts: {last_error}") from last_error
+        self._down_until = time.monotonic() + self.down_cooldown
+        raise CacheUnavailable(
+            f"cache server at {self.url} unreachable after "
+            f"{self.retries + 1} attempts: {last_error}") from last_error
 
     def ensure_connected(self) -> None:
         """Probe the tier now (connect + handshake).

@@ -160,21 +160,38 @@ def parse_cache_url(url: str) -> tuple[str, object]:
     """``(family, address)`` for a cachenet URL.
 
     Accepted forms: ``unix:///path/to.sock``, ``tcp://host:port``, and
-    the bare ``host:port`` shorthand (TCP).  Returns ``("unix", path)``
-    or ``("tcp", (host, port))``.
+    the bare ``host:port`` shorthand (TCP).  TCP hosts are hostnames,
+    IPv4 literals, or *bracketed* IPv6 literals (``tcp://[::1]:9009``);
+    an unbracketed host containing ``:`` is rejected rather than
+    mis-split into garbage.  Returns ``("unix", path)`` or
+    ``("tcp", (host, port))``.
     """
+    original = url
     if url.startswith("unix://"):
         path = url[len("unix://"):]
         if not path:
-            raise ValueError(f"cache url {url!r} names no socket path")
+            raise ValueError(f"cache url {original!r} names no socket "
+                             f"path")
         return "unix", path
     if url.startswith("tcp://"):
         url = url[len("tcp://"):]
-    host, sep, port_text = url.rpartition(":")
-    if not sep or not host:
-        raise ValueError(
-            f"cache url {url!r} is not unix:///path, tcp://host:port, "
-            f"or host:port")
+    if url.startswith("["):
+        host, bracket, rest = url[1:].partition("]")
+        if not bracket or not host or not rest.startswith(":"):
+            raise ValueError(
+                f"cache url {original!r}: a bracketed IPv6 host must "
+                f"look like [host]:port")
+        port_text = rest[1:]
+    else:
+        host, sep, port_text = url.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"cache url {original!r} is not unix:///path, "
+                f"tcp://host:port, or host:port")
+        if ":" in host:
+            raise ValueError(
+                f"cache url {original!r}: IPv6 hosts must be bracketed "
+                f"([host]:port)")
     try:
         port = int(port_text)
     except ValueError:

@@ -97,6 +97,10 @@ class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
 
 
+class _ThreadingTCP6Server(_ThreadingTCPServer):
+    address_family = socket.AF_INET6
+
+
 if hasattr(socketserver, "UnixStreamServer"):
     class _ThreadingUnixServer(socketserver.ThreadingMixIn,
                                socketserver.UnixStreamServer):
@@ -158,7 +162,10 @@ class CacheTierServer:
                                                 _ConnectionHandler)
             self._unix_path = str(path)
         else:
-            self._server = _ThreadingTCPServer(address, _ConnectionHandler)
+            host = address[0]
+            server_cls = (_ThreadingTCP6Server if ":" in host
+                          else _ThreadingTCPServer)
+            self._server = server_cls(address, _ConnectionHandler)
         self._server.tier = self  # type: ignore[attr-defined]
         self._thread = threading.Thread(target=self._server.serve_forever,
                                         name="repro-cachenet",
@@ -172,11 +179,23 @@ class CacheTierServer:
 
     @property
     def url(self) -> str:
-        """The cachenet URL clients should connect to."""
+        """A cachenet URL clients can actually dial.
+
+        Wildcard binds (``0.0.0.0`` / ``::``) are rendered as the
+        matching loopback — a client cannot connect to a wildcard —
+        and IPv6 hosts come back bracketed, so the value always
+        round-trips through :func:`parse_cache_url`.
+        """
         if self._unix_path is not None:
             return f"unix://{self._unix_path}"
         if self._server is not None:
             host, port = self._server.server_address[:2]
+            if host in ("0.0.0.0", ""):
+                host = "127.0.0.1"
+            elif host == "::":
+                host = "::1"
+            if ":" in host:
+                host = f"[{host}]"
             return f"tcp://{host}:{port}"
         return self.bind
 
@@ -261,8 +280,12 @@ class CacheTierServer:
                 plans, answers = self.flush()
                 return {"ok": True, "plans": plans, "answers": answers}
             return {"ok": False, "error": f"unknown op {op!r}"}
-        except (KeyError, TypeError, ValueError) as exc:
-            # A malformed request must answer, not kill the connection.
+        except Exception as exc:  # noqa: BLE001 - reply, don't die
+            # A malformed request must answer, not kill the connection:
+            # whatever plan/scalar validation raises (KeyError,
+            # AttributeError, a ReproError subclass, ...) becomes an
+            # error reply instead of a dropped socket the client would
+            # burn retries re-dialing.
             return {"ok": False,
                     "error": f"bad {op} request: "
                              f"{type(exc).__name__}: {exc}"}

@@ -166,6 +166,11 @@ class QueryServer:
         self._stopped = asyncio.Event()
         self._drain_started = False
         self._drain_lock = threading.Lock()
+        # The flush once-guard gets its own lock: _flush_caches runs on
+        # executor threads while a racing drain_and_stop may be holding
+        # _drain_lock across an await, and sharing one non-reentrant
+        # lock between those two paths deadlocks the shutdown.
+        self._flush_lock = threading.Lock()
         self._caches_flushed = False
         self._connections: set[asyncio.Task] = set()
         self.port: int | None = None
@@ -196,10 +201,14 @@ class QueryServer:
         period.  Idempotent — signals and explicit calls may race.
         """
         with self._drain_lock:
-            if self._drain_started:
-                await self._stopped.wait()
-                return True
+            already_draining = self._drain_started
             self._drain_started = True
+        if already_draining:
+            # Await outside the with-block: holding the lock here would
+            # block the event loop for any later claimant and starve the
+            # first drain of the loop it needs to finish.
+            await self._stopped.wait()
+            return True
         loop = asyncio.get_running_loop()
         completed = await loop.run_in_executor(
             None, self.jobs.drain, self.config.drain_grace_s)
@@ -227,7 +236,7 @@ class QueryServer:
         and entry counts are logged at flush time so an operator can see
         from the drain log exactly what survived to disk.
         """
-        with self._drain_lock:
+        with self._flush_lock:
             if self._caches_flushed:
                 return
             self._caches_flushed = True

@@ -368,13 +368,36 @@ class Session:
                 engine.plan_cache = cache
         return len(cache)
 
+    #: Upper bound on one published ``mput`` batch, well under the
+    #: protocol's 32 MiB frame limit — a fully-loaded 65536-entry answer
+    #: cache publishes as several frames instead of one oversized one.
+    PUBLISH_BATCH_BYTES = 4 * 1024 * 1024
+
     def _publish(self, space: str, entries: list[dict]) -> None:
-        """Best-effort bulk upload of loaded cache entries to the tier."""
+        """Best-effort bulk upload of loaded cache entries to the tier.
+
+        Batched by serialized size so an arbitrarily large warm file
+        never produces a frame over the protocol limit; one unreachable
+        batch aborts the rest (the tier is down, not the data).
+        """
         if not entries or self._cache_client is None:
             return
+        import json
+
         from repro.cachenet import CacheUnavailable
+        batch: list[dict] = []
+        batch_bytes = 0
         try:
-            self._cache_client.mput(space, entries)
+            for entry in entries:
+                entry_bytes = len(json.dumps(entry, separators=(",", ":")))
+                if batch and batch_bytes + entry_bytes > \
+                        self.PUBLISH_BATCH_BYTES:
+                    self._cache_client.mput(space, batch)
+                    batch, batch_bytes = [], 0
+                batch.append(entry)
+                batch_bytes += entry_bytes
+            if batch:
+                self._cache_client.mput(space, batch)
         except CacheUnavailable:
             self.metrics_registry.increment("cachenet_fallbacks")
 

@@ -9,6 +9,7 @@ without a server at all.
 import json
 import socket
 import threading
+import time
 
 import pytest
 
@@ -33,6 +34,18 @@ def server():
 
 
 QUERY = "How many paintings are there?"
+
+
+def _ipv6_loopback_available() -> bool:
+    if not socket.has_ipv6:
+        return False
+    try:
+        probe = socket.socket(socket.AF_INET6, socket.SOCK_STREAM)
+        probe.bind(("::1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
 
 
 def make_plan(description="count paintings"):
@@ -89,6 +102,17 @@ class TestFraming:
         assert parse_cache_url("host:9") == ("tcp", ("host", 9))
         for bad in ("unix://", "nope", "host:notaport"):
             with pytest.raises(ValueError):
+                parse_cache_url(bad)
+
+    def test_parse_cache_url_ipv6_forms(self):
+        # Bracketed IPv6 literals parse into the bare host; unbracketed
+        # ones would mis-split into garbage, so they are rejected loudly
+        # instead of failing later at connect time.
+        assert parse_cache_url("tcp://[::1]:9009") == \
+            ("tcp", ("::1", 9009))
+        assert parse_cache_url("[fe80::2]:7") == ("tcp", ("fe80::2", 7))
+        for bad in ("tcp://::1:9009", "tcp://[::1]9009", "tcp://[]:9"):
+            with pytest.raises(ValueError, match="bracket"):
                 parse_cache_url(bad)
 
 
@@ -188,6 +212,66 @@ class TestServerOps:
         assert reply["ok"] is False
         assert client.stats()["plan"]["entries"] == 0
         client.close()
+
+    def test_unexpected_validation_error_still_answers(self, server):
+        client = CacheClient(server.url)
+        # LogicalPlan.from_dict(None) raises AttributeError, outside the
+        # KeyError/TypeError/ValueError family — the reply must still be
+        # an error frame, not a dropped connection the client would burn
+        # retries re-dialing.
+        reply = client.request({"op": "put", "space": "plan", "ns": "x",
+                                "key": "q", "value": None})
+        assert reply["ok"] is False and "bad put request" in reply["error"]
+        assert client.stats()["plan"]["entries"] == 0
+        client.close()
+
+    def test_oversized_request_fails_fast_and_keeps_connection(
+            self, server):
+        import repro.cachenet.protocol as protocol
+        # Backoff chosen so any accidental retry blows the time budget.
+        client = CacheClient(server.url, retries=2, backoff=5.0)
+        client.ensure_connected()
+        sock = client._sock
+        original = protocol.MAX_FRAME_BYTES
+        protocol.MAX_FRAME_BYTES = 64
+        try:
+            started = time.perf_counter()
+            with pytest.raises(CacheUnavailable, match="frame limit"):
+                client.request({"op": "put", "space": "answer",
+                                "key": ["fp", "q", "str"],
+                                "value": "x" * 200})
+            assert time.perf_counter() - started < 1.0  # no retries
+        finally:
+            protocol.MAX_FRAME_BYTES = original
+        # The healthy connection was kept, not dropped, and the client
+        # was not marked down: the next request works immediately.
+        assert client._sock is sock
+        assert client.stats()["answer"]["entries"] == 0
+        client.close()
+
+    def test_wildcard_bind_renders_connectable_url(self):
+        server = CacheTierServer(bind="tcp://0.0.0.0:0").start()
+        try:
+            # A client cannot dial a wildcard; url maps it to loopback.
+            assert server.url.startswith("tcp://127.0.0.1:")
+            client = CacheClient(server.url)
+            client.ensure_connected()
+            client.close()
+        finally:
+            server.stop()
+
+    @pytest.mark.skipif(not _ipv6_loopback_available(),
+                        reason="no IPv6 loopback on this host")
+    def test_ipv6_bind_round_trip(self):
+        server = CacheTierServer(bind="tcp://[::1]:0").start()
+        try:
+            assert server.url.startswith("tcp://[::1]:")
+            client = CacheClient(server.url)
+            client.put_answer(("fp", "q", "int"), 6)
+            assert client.get_answer(("fp", "q", "int")) == (True, 6)
+            client.close()
+        finally:
+            server.stop()
 
     def test_unix_socket_transport(self, tmp_path):
         path = tmp_path / "tier.sock"
@@ -352,6 +436,36 @@ class TestSessionIntegration:
         publisher.close()
         client = CacheClient(server.url)
         assert client.stats()["plan"]["entries"] == 1
+        client.close()
+
+    def test_publish_chunks_large_loaded_files(self, server, artwork_lake,
+                                               tmp_path, monkeypatch):
+        """A warm file bigger than one mput batch publishes as several
+        bounded frames — never one frame over the protocol limit — and
+        every entry still reaches the tier."""
+        local = Session(artwork_lake)
+        for i in range(40):
+            local.answer_cache.put((f"fp{i}", "q", "int"), i)
+        answer_file = tmp_path / "answers.json"
+        assert local.save_answer_cache(answer_file) == 40
+        local.close()
+
+        monkeypatch.setattr(Session, "PUBLISH_BATCH_BYTES", 256)
+        publisher = Session(artwork_lake, cache_url=server.url)
+        batches = []
+        original_mput = publisher._cache_client.mput
+
+        def counting_mput(space, entries, ns=None):
+            batches.append(len(entries))
+            return original_mput(space, entries, ns=ns)
+
+        monkeypatch.setattr(publisher._cache_client, "mput", counting_mput)
+        assert publisher.load_answer_cache(answer_file) == 40
+        publisher.close()
+        assert len(batches) > 1    # chunked, not one oversized frame
+        assert sum(batches) == 40  # nothing silently dropped
+        client = CacheClient(server.url)
+        assert client.stats()["answer"]["entries"] == 40
         client.close()
 
     def test_explicit_cache_instances_win_over_cache_url(self, server,

@@ -104,6 +104,30 @@ def test_client_fails_fast_during_cooldown():
     client.close()
 
 
+def test_peers_fail_fast_while_one_thread_probes():
+    """While one thread runs the reconnection probe (connect attempts
+    plus backoff sleeps), the other threads sharing the client must fail
+    fast instead of serializing behind the probe's lock."""
+    client = CacheClient(DEAD_URL, retries=2, backoff=0.3,
+                         connect_timeout=0.2, down_cooldown=30.0)
+
+    def probe() -> None:
+        try:
+            client.request({"op": "stats"})
+        except CacheUnavailable:
+            pass
+
+    prober = threading.Thread(target=probe)
+    prober.start()
+    time.sleep(0.15)  # the probe marked the client down and is backing off
+    started = time.perf_counter()
+    with pytest.raises(CacheUnavailable, match="cooling off"):
+        client.request({"op": "stats"})
+    assert time.perf_counter() - started < 0.1
+    prober.join()
+    client.close()
+
+
 def test_remote_caches_degrade_to_local_when_tier_dies():
     server = CacheTierServer(bind="tcp://127.0.0.1:0").start()
     client = CacheClient(server.url, retries=0, connect_timeout=0.2,

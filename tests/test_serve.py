@@ -9,6 +9,7 @@ format.
 
 from __future__ import annotations
 
+import asyncio
 import http.client
 import json
 import threading
@@ -400,6 +401,33 @@ def test_shutdown_flushes_caches_exactly_once(serve, rotowire_lake,
     # The flush log names the entry count and destination.
     out = capsys.readouterr().out
     assert f"flushed 1 plan-cache entries -> {plan_file}" in out
+
+
+def test_racing_drains_converge_without_deadlock(serve, rotowire_lake,
+                                                 tmp_path):
+    """Two drains in flight at once — SIGTERM and SIGINT both firing, or
+    an explicit drain racing a signal.  The loser must wait for the
+    winner without holding the drain lock, or the winner's cache flush
+    (which runs on an executor thread) deadlocks against it and the
+    server never stops."""
+    plan_file = tmp_path / "plans.json"
+    session = Session(rotowire_lake)
+    handle = serve(session, plan_cache_file=str(plan_file))
+    client = Client(handle)
+    _, _, body = client.request(
+        "POST", "/queries", {"query": "How many players are taller than 200?"})
+    client.poll_done(body["id"])
+    client.close()
+
+    loop = handle._loop
+    first = asyncio.run_coroutine_threadsafe(
+        handle.server.drain_and_stop(), loop)
+    second = asyncio.run_coroutine_threadsafe(
+        handle.server.drain_and_stop(), loop)
+    assert first.result(timeout=30) is True
+    assert second.result(timeout=30) is True
+    assert handle.server._stopped.is_set()
+    assert plan_file.exists()  # the one flush still happened
 
 
 def test_serve_with_cache_tier_shares_warmth(serve, rotowire_lake):
