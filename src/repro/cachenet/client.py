@@ -35,7 +35,9 @@ from repro.core.answer_cache import MISS, AnswerCache, AnswerKey
 from repro.core.batch import PlanCache
 from repro.core.plan import LogicalPlan
 from repro.data.datatypes import decode_scalar, encode_scalar
+from repro.obs.context import current_trace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import StageTrace
 
 
 class CacheClient:
@@ -71,7 +73,8 @@ class CacheClient:
     # Transport
     # ------------------------------------------------------------------
 
-    def _connect(self) -> socket.socket:
+    def _connect(self,
+                 request_timeout: float | None = None) -> socket.socket:
         if self._family == "unix":
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             sock.settimeout(self.connect_timeout)
@@ -85,7 +88,8 @@ class CacheClient:
             # IPv6 literals alike (cleaning up after itself on failure).
             sock = socket.create_connection(
                 self._address, timeout=self.connect_timeout)
-        sock.settimeout(self.request_timeout)
+        sock.settimeout(request_timeout if request_timeout is not None
+                        else self.request_timeout)
         try:
             write_frame(sock, hello_request())
             reply = read_frame(sock)
@@ -112,7 +116,8 @@ class CacheClient:
                 pass
             self._sock = None
 
-    def request(self, payload: dict) -> dict:
+    def request(self, payload: dict, *, timeout: float | None = None,
+                retries: int | None = None) -> dict:
         """One RPC round trip; retries transport failures, never protocol
         errors.  Raises :class:`CacheUnavailable` when the tier cannot be
         reached (including while in the post-failure down state).
@@ -123,6 +128,17 @@ class CacheClient:
         behind the probe; a reconnect attempt additionally pre-marks the
         client down (cleared on success) so even threads that raced past
         the entry check bail out on their next call.
+
+        *timeout*/*retries* override the per-request socket timeout and
+        retry count for this one call — the bounded-scrape path
+        (:meth:`~repro.session.Session.cachenet_stats`) uses them so a
+        hung server can never stall a ``/metrics`` scrape for the full
+        default budget.
+
+        When a distributed trace is active on this thread
+        (:func:`~repro.obs.context.current_trace`), the request carries
+        the trace as a ``trace`` field and the completed round trip is
+        recorded as a ``cachenet:<op>`` span in that query's telemetry.
         """
         if self._closed:
             raise CacheUnavailable(
@@ -130,8 +146,13 @@ class CacheClient:
         if time.monotonic() < self._down_until:
             raise CacheUnavailable(
                 f"cache server at {self.url} is down (cooling off)")
+        op = payload.get("op")
+        active = current_trace() if op and op != "hello" else None
+        if active is not None:
+            payload = {**payload, "trace": active.context.to_dict()}
+        attempts = (self.retries if retries is None else retries) + 1
         last_error: Exception | None = None
-        for attempt in range(self.retries + 1):
+        for attempt in range(attempts):
             if attempt:
                 time.sleep(self.backoff * attempt)
             with self._lock:
@@ -144,8 +165,11 @@ class CacheClient:
                         # and fail fast while this thread reconnects.
                         self._down_until = (time.monotonic()
                                             + self.down_cooldown)
-                        self._sock = self._connect()
+                        self._sock = self._connect(timeout)
                         self._down_until = 0.0
+                    self._sock.settimeout(
+                        timeout if timeout is not None
+                        else self.request_timeout)
                     started = time.perf_counter()
                     try:
                         write_frame(self._sock, payload)
@@ -162,10 +186,12 @@ class CacheClient:
                         raise ConnectionError(
                             f"cache server at {self.url} closed the "
                             f"connection mid-request")
+                    elapsed = time.perf_counter() - started
                     if self.metrics is not None:
-                        self.metrics.observe(
-                            "cachenet_rpc_latency",
-                            time.perf_counter() - started)
+                        self.metrics.observe("cachenet_rpc_latency",
+                                             elapsed)
+                    if active is not None:
+                        self._record_rpc_span(active, op, elapsed, reply)
                     return reply
                 except (OSError, FrameError, ConnectionError) as exc:
                     last_error = exc
@@ -175,7 +201,27 @@ class CacheClient:
         self._down_until = time.monotonic() + self.down_cooldown
         raise CacheUnavailable(
             f"cache server at {self.url} unreachable after "
-            f"{self.retries + 1} attempts: {last_error}") from last_error
+            f"{attempts} attempts: {last_error}") from last_error
+
+    @staticmethod
+    def _record_rpc_span(active, op: str, elapsed: float,
+                         reply: dict) -> None:
+        """One ``cachenet:<op>`` child span into the active query's
+        telemetry.  These spans are locality-dependent (they exist only
+        when the local front cache missed) and are dropped from the
+        canonical cross-backend form, so wall-clock notes are fine here.
+        """
+        notes: dict = {"op": op,
+                       "trace_id": active.context.trace_id}
+        server_ms = reply.get("server_ms")
+        if isinstance(server_ms, (int, float)):
+            notes["server_ms"] = server_ms
+        try:
+            active.telemetry.add_span(StageTrace(
+                stage=f"cachenet:{op}",
+                duration_ms=elapsed * 1000.0, notes=notes))
+        except Exception:  # noqa: BLE001 - tracing must never fail an RPC
+            pass
 
     def ensure_connected(self) -> None:
         """Probe the tier now (connect + handshake).
@@ -238,9 +284,17 @@ class CacheClient:
                               "ns": ns})
         return reply.get("dropped", 0)
 
-    def stats(self) -> dict:
-        """The server's own STATS snapshot (entries, hits, counters)."""
-        return self.request({"op": "stats"}).get("stats", {})
+    def stats(self, timeout: float | None = None,
+              retries: int | None = None) -> dict:
+        """The server's own STATS snapshot (entries, hits, counters).
+
+        *timeout*/*retries* bound this one call — metrics scrapes pass a
+        small budget so a hung server degrades the scrape instead of
+        stalling it.
+        """
+        reply = self.request({"op": "stats"}, timeout=timeout,
+                             retries=retries)
+        return reply.get("stats", {})
 
     def flush(self) -> dict:
         """Ask the server to persist both spaces now."""

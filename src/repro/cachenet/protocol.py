@@ -27,6 +27,14 @@ Operations (the ``op`` field of a request):
 ``flush``      persist both spaces to the configured files now
 =============  ========================================================
 
+Additive fields (version-compatible, ignored by peers that predate
+them): any non-``hello`` request MAY carry a ``trace`` object —
+``{"trace_id": <32 hex>, "span_id": <16 hex>}``, the caller's
+:class:`~repro.obs.TraceContext` — so the server can attribute its
+handling to the caller's distributed trace; any non-``hello`` reply MAY
+carry ``server_ms``, the server-side handling time of that request,
+which clients fold into their ``cachenet:<op>`` spans.
+
 Spaces mirror the two process-local caches: ``plan`` entries are
 namespaced by the lake fingerprint (the same fingerprint
 :class:`~repro.core.batch.PlanCache` keys on, so invalidating a changed

@@ -37,6 +37,7 @@ import signal
 import socket
 import socketserver
 import threading
+import time
 from pathlib import Path
 
 from repro.cachenet.protocol import (PROTOCOL_NAME, PROTOCOL_VERSION,
@@ -78,6 +79,13 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 return
             tier._count("requests_total")
             op = request.get("op")
+            # Distributed-trace propagation: callers may attach their
+            # TraceContext as a "trace" field; the server counts traced
+            # requests (stats stays wall-clock free) and reports its own
+            # handling time back so client-side cachenet spans can split
+            # wire time from server time.
+            if isinstance(request.get("trace"), dict):
+                tier._count("traced_requests_total")
             if op == "hello":
                 reply = tier._handle_hello(request)
                 handshook = reply.get("ok", False)
@@ -85,7 +93,10 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 reply = {"ok": False, "error": "handshake required: send "
                                                "'hello' first"}
             else:
+                started = time.perf_counter()
                 reply = tier._dispatch(op, request)
+                reply["server_ms"] = round(
+                    (time.perf_counter() - started) * 1000.0, 3)
             try:
                 write_frame(self.request, reply)
             except OSError:

@@ -117,6 +117,10 @@ def build_parser() -> argparse.ArgumentParser:
         "cache-bench", add_help=False,
         help="benchmark cold-replica warm-up: shared tier vs files "
              "('repro cache-bench --help')")
+    subparsers.add_parser(
+        "trace", add_help=False,
+        help="inspect exported trace records: span trees, recent "
+             "traces, slowest queries ('repro trace --help')")
     return parser
 
 
@@ -260,6 +264,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv[0] == "cache-bench":
         from repro.benchmarks.cachewarm import main as cache_bench_main
         return cache_bench_main(argv[1:])
+    if argv[0] == "trace":
+        from repro.obs.tracecli import main as trace_main
+        return trace_main(argv[1:])
     if argv[0].startswith("-") and argv[0] not in ("--version", "-h",
                                                    "--help"):
         # Flag-style invocation (repro --dataset ... --query/--batch ...)

@@ -407,6 +407,7 @@ class BatchReport:
             if trace is not None:
                 trace["timings"] = {}
                 trace["plan_cache_hit"] = False
+                trace["trace_id"] = None
                 if "telemetry" in trace:
                     trace["telemetry"] = QueryTelemetry.canonicalize(
                         trace["telemetry"])

@@ -50,6 +50,7 @@ from repro.errors import ReproError
 from repro.llm.brain import SimulatedBrain
 from repro.llm.interface import LanguageModel, Transcript
 from repro.obs import (MetricsRegistry, StageTrace, TelemetryConfig,
+                       TraceContext, pop_trace, push_trace,
                        resolve_cost_model)
 from repro.operators.base import ExecutionContext
 from repro.plotting.spec import PlotSpec
@@ -123,6 +124,12 @@ class Engine:
         #: telemetry is enabled; exceptions are swallowed so a broken
         #: listener can never fail a query.
         self.span_listener = None
+        #: optional :class:`~repro.obs.TraceContext` the next query runs
+        #: under — set by a caller that already owns a trace (the serve
+        #: layer, a process-backend parent) before calling :meth:`query`;
+        #: when ``None`` the engine mints a fresh root context, so every
+        #: query has a trace id.
+        self.trace_context = None
         #: optional session-level :class:`~repro.obs.MetricsRegistry`;
         #: every finished query records counters and latencies into it.
         self.metrics = metrics
@@ -136,13 +143,21 @@ class Engine:
 
     def query(self, query: str) -> QueryResult:
         """Answer *query*, returning a :class:`QueryResult` with full trace."""
-        trace = PlanTrace(query=query)
+        context = self.trace_context or TraceContext.new()
+        trace = PlanTrace(query=query, trace_id=context.trace_id)
         transcript = Transcript()
         self.last_transcript = transcript
         started = time.perf_counter()
+        # Activate the trace on this thread so components below the
+        # engine (cachenet RPCs) attach their spans to this query.
+        activated = self.telemetry_config.enabled
+        if activated:
+            push_trace(context, trace.telemetry)
         try:
             result = self._answer(query, trace, transcript)
         finally:
+            if activated:
+                pop_trace()
             self._tick(trace, "total", started)
         self._record_metrics(trace, result.ok)
         return result

@@ -256,6 +256,11 @@ class PlanTrace:
     #: stage and per executed operator, plus cache-locality counters —
     #: the canonical home of what used to be scattered ad-hoc fields.
     telemetry: QueryTelemetry = field(default_factory=QueryTelemetry)
+    #: distributed trace id (32 hex digits) this query ran under — set by
+    #: the engine from its :class:`~repro.obs.TraceContext`, carried
+    #: across the process-lane wire so a worker's result joins the
+    #: parent's trace.  ``None`` on pre-tracing payloads.
+    trace_id: str | None = None
 
     @property
     def plan_cache_hit(self) -> bool:
@@ -295,6 +300,7 @@ class PlanTrace:
             # canonical encoding is telemetry.counters["plan_from_cache"].
             "plan_cache_hit": self.telemetry.plan_cache_hit,
             "telemetry": self.telemetry.to_dict(),
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -320,7 +326,8 @@ class PlanTrace:
             errors=[ErrorEvent.from_dict(e) for e in data.get("errors", [])],
             replans=data.get("replans", 0),
             timings=dict(data.get("timings", {})),
-            telemetry=telemetry)
+            telemetry=telemetry,
+            trace_id=data.get("trace_id"))
 
 
 @dataclass

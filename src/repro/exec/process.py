@@ -53,6 +53,7 @@ from repro.core.plan import ErrorEvent, LogicalPlan, PlanTrace, QueryResult
 from repro.data.datatypes import decode_scalar, encode_scalar
 from repro.exec.base import BackendError, ExecutionBackend, register_backend
 from repro.exec.procworker import initialize_worker, run_worker_query
+from repro.obs import TraceContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.session import Session
@@ -62,6 +63,53 @@ def default_start_method() -> str:
     """``fork`` where the platform offers it, else ``spawn``."""
     methods = multiprocessing.get_all_start_methods()
     return "fork" if "fork" in methods else "spawn"
+
+
+def build_init_payload(session: "Session", spec: object,
+                       content_fingerprint: str,
+                       plan_fingerprint: str) -> dict:
+    """What a fresh worker needs: spec, brain/roles, and warm caches.
+
+    Plans and answers both ship as JSON-shaped payloads; answer keys
+    are content fingerprints, so every lane can safely take the whole
+    parent answer cache (e.g. one rehydrated from
+    ``--answer-cache-file``).
+
+    With a session *cache_url*, the warm payloads ship **empty** and
+    the lane consults the shared tier lazily instead — the
+    parent→worker pipe no longer scales with cache size, and a lane
+    only pulls the entries its queries actually touch.
+
+    Module-level because two lane owners share it: this backend and the
+    serve layer's process-lane mode
+    (:class:`repro.serve.jobs.JobManager`).
+    """
+    cache_url = getattr(session, "cache_url", None)
+    if cache_url is not None:
+        plans: list = []
+        answers: list = []
+    else:
+        plans = []
+        for (query, fp), plan in session.plan_cache.items():
+            if fp == plan_fingerprint:
+                plans.append({"query": query, "plan": plan.to_dict()})
+        answers = [[key[0], key[1], key[2], encode_scalar(answer)]
+                   for key, answer in session.answer_cache.items()]
+    return {
+        "cache_url": cache_url,
+        "lake_spec": spec.to_dict(),
+        "content_fingerprint": content_fingerprint,
+        "brain": session.brain,
+        "config": session.config,
+        "planner": session.planner,
+        "mapper": session.mapper,
+        "executor": session.executor,
+        "plan_cache_capacity": session.plan_cache.capacity,
+        "answer_cache_capacity": session.answer_cache.capacity,
+        "plans": plans,
+        "answers": answers,
+        "telemetry": session.telemetry,
+    }
 
 
 class _Lane:
@@ -88,9 +136,9 @@ class _Lane:
                 initializer=initialize_worker,
                 initargs=(init_payload,))
 
-    def submit(self, query: str):
+    def submit(self, query: str, trace: dict | None = None):
         assert self._executor is not None
-        return self._executor.submit(run_worker_query, query)
+        return self._executor.submit(run_worker_query, query, trace)
 
     def kill(self) -> None:
         """Tear the lane down hard (terminates a stuck worker)."""
@@ -121,6 +169,10 @@ class _Task:
     index: int
     query: str
     lane: _Lane
+    #: the parent-minted :class:`~repro.obs.TraceContext` this query runs
+    #: under — shipped across the pipe so the worker's spans join it, and
+    #: reused by the in-parent fallback so a recovered query keeps its id.
+    context: TraceContext | None = None
     future: object = field(default=None, repr=False)
 
 
@@ -195,8 +247,13 @@ class ProcessBackend(ExecutionBackend):
         tasks = []
         for index, query in enumerate(workload):
             lane = lanes[first_seen[query] % len(lanes)]
+            # One distributed trace per query, minted in the parent and
+            # shipped across the pipe with the submission.
+            context = TraceContext.new()
             tasks.append(_Task(index=index, query=query, lane=lane,
-                               future=lane.submit(query)))
+                               context=context,
+                               future=lane.submit(query,
+                                                  context.to_dict())))
 
         results: list[QueryResult] = []
         for task in tasks:  # submission order == collection order
@@ -232,44 +289,8 @@ class ProcessBackend(ExecutionBackend):
 
     def _init_payload(self, session: "Session", spec: object,
                       content_fingerprint: str) -> dict:
-        """What a fresh worker needs: spec, brain/roles, and warm caches.
-
-        Plans and answers both ship as JSON-shaped payloads; answer keys
-        are content fingerprints, so every lane can safely take the whole
-        parent answer cache (e.g. one rehydrated from
-        ``--answer-cache-file``).
-
-        With a session *cache_url*, the warm payloads ship **empty** and
-        the lane consults the shared tier lazily instead — the
-        parent→worker pipe no longer scales with cache size, and a lane
-        only pulls the entries its queries actually touch.
-        """
-        cache_url = getattr(session, "cache_url", None)
-        if cache_url is not None:
-            plans: list = []
-            answers: list = []
-        else:
-            plans = []
-            for (query, fp), plan in session.plan_cache.items():
-                if fp == self._plan_fingerprint:
-                    plans.append({"query": query, "plan": plan.to_dict()})
-            answers = [[key[0], key[1], key[2], encode_scalar(answer)]
-                       for key, answer in session.answer_cache.items()]
-        return {
-            "cache_url": cache_url,
-            "lake_spec": spec.to_dict(),
-            "content_fingerprint": content_fingerprint,
-            "brain": session.brain,
-            "config": session.config,
-            "planner": session.planner,
-            "mapper": session.mapper,
-            "executor": session.executor,
-            "plan_cache_capacity": session.plan_cache.capacity,
-            "answer_cache_capacity": session.answer_cache.capacity,
-            "plans": plans,
-            "answers": answers,
-            "telemetry": session.telemetry,
-        }
+        return build_init_payload(session, spec, content_fingerprint,
+                                  self._plan_fingerprint)
 
     def _collect(self, session: "Session", task: _Task,
                  worker_plan_delta: list[int],
@@ -283,7 +304,7 @@ class ProcessBackend(ExecutionBackend):
                 f"worker query timed out after {self.timeout:g}s "
                 f"(lane {task.lane.index}); lane killed",
                 worker_id=task.lane.index)
-            return self._fallback(session, task.query, event)
+            return self._fallback(session, task.query, event, task.context)
         except Exception as exc:  # noqa: BLE001 - BrokenProcessPool et al.
             # A broken pool also poisons every later future on the lane;
             # each one lands here and falls back individually.
@@ -292,7 +313,7 @@ class ProcessBackend(ExecutionBackend):
                 f"worker crashed (lane {task.lane.index}): "
                 f"{type(exc).__name__}: {exc}",
                 worker_id=task.lane.index)
-            return self._fallback(session, task.query, event)
+            return self._fallback(session, task.query, event, task.context)
 
         for target, delta in ((worker_plan_delta, payload["plan_delta"]),
                               (worker_answer_delta,
@@ -307,7 +328,7 @@ class ProcessBackend(ExecutionBackend):
                 f"worker query crashed (lane {task.lane.index}): "
                 f"{payload['error']}",
                 worker_id=task.lane.index)
-            return self._fallback(session, task.query, event)
+            return self._fallback(session, task.query, event, task.context)
 
         result = QueryResult.from_dict(payload["result"])
         fresh_plan = payload.get("fresh_plan")
@@ -327,15 +348,22 @@ class ProcessBackend(ExecutionBackend):
                                      decode_scalar(answer))
         return result
 
-    def _fallback(self, session: "Session", query: str,
-                  event: ErrorEvent) -> QueryResult:
-        """Re-run *query* in the parent, guarding against a second crash."""
+    def _fallback(self, session: "Session", query: str, event: ErrorEvent,
+                  context: TraceContext | None = None) -> QueryResult:
+        """Re-run *query* in the parent, guarding against a second crash.
+
+        The recovered run keeps the query's original trace context, so
+        one trace id covers the failed lane attempt and the fallback.
+        """
         session.metrics_registry.increment("worker_failures_total")
         engine = session.engine_pool(1)[0]
+        engine.trace_context = context
         try:
             result = engine.query(query)
         except Exception as exc:  # noqa: BLE001 - the query is poisoned
-            trace = PlanTrace(query=query)
+            trace = PlanTrace(
+                query=query,
+                trace_id=context.trace_id if context else None)
             trace.errors.append(event)
             trace.errors.append(ErrorEvent(
                 "execution", None,
@@ -343,6 +371,8 @@ class ProcessBackend(ExecutionBackend):
             return QueryResult(kind="error", trace=trace,
                                error=f"worker and in-parent fallback both "
                                      f"failed: {exc}")
+        finally:
+            engine.trace_context = None
         event.recovered = True
         if result.trace is not None:
             result.trace.errors.insert(0, event)

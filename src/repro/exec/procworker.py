@@ -30,7 +30,7 @@ from repro.core.engine import Engine
 from repro.core.plan import LogicalPlan
 from repro.data.datatypes import decode_scalar, encode_scalar
 from repro.datasets import LakeSpec
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, TraceContext, TraceContextError
 
 #: per-process engine state, populated by :func:`initialize_worker`.
 _STATE: dict[str, object] = {}
@@ -142,8 +142,15 @@ def _cache_deltas(before_plan: tuple[int, int, int],
     }
 
 
-def run_worker_query(query: str) -> dict:
+def run_worker_query(query: str, trace: dict | None = None) -> dict:
     """Answer one query on the worker's local engine.
+
+    *trace* is the parent's :class:`~repro.obs.TraceContext` as a dict
+    (the distributed-tracing hop across the pipe): installed on the
+    worker engine so the result's ``trace_id`` — and any ``cachenet:*``
+    spans this lane records against the shared tier — belong to the
+    parent's trace.  A malformed dict is ignored (the query still runs,
+    under a locally minted context).
 
     Returns a JSON-shaped payload: ``{"ok": True, "result": <QueryResult
     dict>, "fresh_plan": <plan dict or None>, "fresh_answers": [...],
@@ -162,6 +169,11 @@ def run_worker_query(query: str) -> dict:
     before_plan = _STATE["plan_cache"].snapshot()
     before_answer = answer_cache.snapshot()
     before_metrics = metrics.raw_state()
+    if trace is not None:
+        try:
+            engine.trace_context = TraceContext.from_dict(trace)
+        except TraceContextError:
+            engine.trace_context = None
     try:
         result = engine.query(query)
     except Exception as exc:  # noqa: BLE001 - crash containment boundary
@@ -171,6 +183,8 @@ def run_worker_query(query: str) -> dict:
                    "metrics_delta": metrics.delta_since(before_metrics)}
         payload.update(_cache_deltas(before_plan, before_answer))
         return payload
+    finally:
+        engine.trace_context = None
     payload = {"ok": True, "result": result.to_dict(), "fresh_plan": None,
                "fresh_answers": answer_cache.drain(),
                "metrics_delta": metrics.delta_since(before_metrics)}

@@ -17,10 +17,15 @@ accounting" item names, built as one subsystem:
 """
 
 from repro.obs.config import TelemetryConfig
+from repro.obs.context import (TraceContext, TraceContextError,
+                               current_trace, pop_trace, push_trace)
 from repro.obs.cost import (DEFAULT_COST_MODEL, CostModel,
                             resolve_cost_model)
+from repro.obs.export import (SlowQueryLog, TraceBuffer, TraceExporter,
+                              TracePipeline, build_trace_record,
+                              render_trace_record)
 from repro.obs.metrics import (LATENCY_BUCKETS, MetricsRegistry,
-                               render_snapshot)
+                               render_prometheus, render_snapshot)
 from repro.obs.trace import (LOCALITY_COUNTERS, QueryTelemetry,
                              StageTrace)
 
@@ -31,8 +36,20 @@ __all__ = [
     "LOCALITY_COUNTERS",
     "MetricsRegistry",
     "QueryTelemetry",
+    "SlowQueryLog",
     "StageTrace",
     "TelemetryConfig",
+    "TraceBuffer",
+    "TraceContext",
+    "TraceContextError",
+    "TraceExporter",
+    "TracePipeline",
+    "build_trace_record",
+    "current_trace",
+    "pop_trace",
+    "push_trace",
+    "render_prometheus",
     "render_snapshot",
+    "render_trace_record",
     "resolve_cost_model",
 ]

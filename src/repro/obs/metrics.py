@@ -23,6 +23,7 @@ counters do not.)
 from __future__ import annotations
 
 import json
+import re
 import threading
 
 #: Upper bounds (seconds) of the latency histogram buckets; the implicit
@@ -41,6 +42,78 @@ def render_snapshot(snapshot: dict) -> str:
     scraped snapshot and a dumped file diff cleanly against each other.
     """
     return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+#: Prometheus metric names allow ``[a-zA-Z_:][a-zA-Z0-9_:]*``; anything
+#: else in a counter name is folded to ``_``.
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _PROM_BAD.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """A metrics snapshot in Prometheus text exposition format (0.0.4).
+
+    Counters render as ``counter`` samples, derived rates as ``gauge``,
+    histograms as the standard ``_bucket``/``_sum``/``_count`` triple
+    (bucket counts are already cumulative in the snapshot).  The nested
+    ``cachenet_server`` block a tier-backed
+    :meth:`~repro.session.Session.observability_snapshot` includes is
+    flattened to ``repro_cachenet_server_*`` gauges, numeric leaves
+    only.  Serve with ``GET /metrics?format=prometheus``; content type
+    ``text/plain; version=0.0.4``.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, samples: list[str]) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    for name in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][name]
+        if not isinstance(value, (int, float)):
+            continue
+        metric = _prom_name(name)
+        emit(metric, "counter", [f"{metric} {_prom_value(value)}"])
+    for name in sorted(snapshot.get("histograms", {})):
+        histogram = snapshot["histograms"][name]
+        metric = _prom_name(name + "_seconds")
+        samples = []
+        for bound, count in histogram.get("buckets", {}).items():
+            samples.append(f'{metric}_bucket{{le="{bound}"}} {count}')
+        samples.append(f"{metric}_sum "
+                       f"{_prom_value(histogram.get('sum_seconds', 0.0))}")
+        samples.append(f"{metric}_count {histogram.get('count', 0)}")
+        emit(metric, "histogram", samples)
+    for name in sorted(snapshot.get("derived", {})):
+        value = snapshot["derived"][name]
+        if not isinstance(value, (int, float)):
+            continue
+        metric = _prom_name(name)
+        emit(metric, "gauge", [f"{metric} {_prom_value(value)}"])
+    server = snapshot.get("cachenet_server")
+    if isinstance(server, dict):
+        for name in sorted(server):
+            value = server[name]
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                continue
+            metric = _prom_name(f"cachenet_server_{name}")
+            emit(metric, "gauge", [f"{metric} {_prom_value(value)}"])
+    return "\n".join(lines) + "\n"
 
 
 class _Histogram:

@@ -38,6 +38,11 @@ LOCALITY_COUNTERS = frozenset({
 #: cached plan skips the planner call entirely), zeroed in canonical form.
 _LOCALITY_STAGES = ("planning",)
 
+#: Span-name prefixes that exist only when a remote cache tier is
+#: attached *and* the local front cache missed — pure locality, so the
+#: whole span is dropped from the canonical form rather than zeroed.
+_LOCALITY_SPAN_PREFIXES = ("cachenet:",)
+
 
 @dataclass
 class StageTrace:
@@ -196,12 +201,17 @@ class QueryTelemetry:
         """Normalize a ``to_dict()`` payload for cross-backend comparison.
 
         Zeroes wall-clock durations everywhere, zeroes token/cost figures
-        of locality-dependent stages (:data:`_LOCALITY_STAGES`), and drops
+        of locality-dependent stages (:data:`_LOCALITY_STAGES`), drops
+        spans that only exist on a cache miss against a remote tier
+        (:data:`_LOCALITY_SPAN_PREFIXES`), and drops
         :data:`LOCALITY_COUNTERS`; everything else must be byte-identical
         across serial, thread, and process backends.
         """
         spans = []
         for span in data.get("spans", []):
+            stage = span.get("stage", "")
+            if stage.startswith(_LOCALITY_SPAN_PREFIXES):
+                continue
             span = dict(span)
             span["duration_ms"] = 0.0
             if span.get("stage") in _LOCALITY_STAGES:

@@ -1,0 +1,115 @@
+"""``repro trace`` — inspect exported trace spools from the terminal.
+
+Three verbs over a :class:`~repro.obs.export.TraceExporter` JSONL file
+(default ``traces.jsonl``, the serve default):
+
+- ``show [trace_id]`` — render one record's full span tree; the id may
+  be any unique prefix, and omitting it shows the newest record (which
+  is what a doc example or a quick look after one query wants);
+- ``tail [-n N]`` — the last N records as one-line summaries;
+- ``top [-n N]`` — the N slowest records, slowest first.
+
+Reads the live spool plus its rotated ``.1`` sibling so a record that
+just rotated out is still findable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.export import (TraceExporter, render_trace_record,
+                              summarize_trace_record)
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> list[dict]:
+    """Records oldest-first across the rotated generation and the live
+    spool."""
+    return TraceExporter.read(path + ".1") + TraceExporter.read(path)
+
+
+def _summary_line(summary: dict) -> str:
+    attributes = summary.get("attributes") or {}
+    job = attributes.get("job_id", "-")
+    slow = " SLOW" if summary.get("slow") else ""
+    return (f"{summary.get('trace_id')}  "
+            f"{summary.get('duration_ms', 0.0):9.2f}ms  "
+            f"{summary.get('status', '?'):<5s}  "
+            f"${summary.get('cost_usd', 0.0):.6f}  "
+            f"job={job}{slow}  {summary.get('query')!r}")
+
+
+def _cmd_show(records: list[dict], trace_id: str | None) -> int:
+    if not records:
+        print("no traces in spool", file=sys.stderr)
+        return 1
+    if trace_id is None:
+        record = records[-1]
+    else:
+        matches = [r for r in records
+                   if str(r.get("trace_id", "")).startswith(trace_id)]
+        if not matches:
+            print(f"no trace matching {trace_id!r}", file=sys.stderr)
+            return 1
+        distinct = {r.get("trace_id") for r in matches}
+        if len(distinct) > 1:
+            print(f"{trace_id!r} is ambiguous across {len(distinct)} "
+                  f"traces; give more digits", file=sys.stderr)
+            return 1
+        record = matches[-1]
+    print(render_trace_record(record))
+    return 0
+
+
+def _cmd_tail(records: list[dict], count: int) -> int:
+    for record in records[-count:]:
+        print(_summary_line(summarize_trace_record(record)))
+    return 0
+
+
+def _cmd_top(records: list[dict], count: int) -> int:
+    ranked = sorted(records, key=lambda r: r.get("duration_ms", 0.0),
+                    reverse=True)
+    for record in ranked[:count]:
+        print(_summary_line(summarize_trace_record(record)))
+    return 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Inspect exported query traces (JSONL spool).")
+    # --file rides every verb (not the top level) so the natural
+    # spelling `repro trace show --file x` parses.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--file", default="traces.jsonl",
+                        help="trace spool path (default: traces.jsonl)")
+    verbs = parser.add_subparsers(dest="verb", required=True)
+    show = verbs.add_parser("show", parents=[common],
+                            help="render one trace's span tree")
+    show.add_argument("trace_id", nargs="?", default=None,
+                      help="trace id or unique prefix "
+                           "(default: newest record)")
+    tail = verbs.add_parser("tail", parents=[common],
+                            help="last N traces, one line each")
+    tail.add_argument("-n", type=int, default=10, dest="count")
+    top = verbs.add_parser("top", parents=[common],
+                           help="N slowest traces, slowest first")
+    top.add_argument("-n", type=int, default=10, dest="count")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    options = build_arg_parser().parse_args(argv)
+    records = _load(options.file)
+    if options.verb == "show":
+        return _cmd_show(records, options.trace_id)
+    if options.verb == "tail":
+        return _cmd_tail(records, options.count)
+    return _cmd_top(records, options.count)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -15,7 +15,17 @@ Endpoints::
     DELETE /queries/{id}         cancel a still-queued job
     GET    /queries/{id}/events  NDJSON stream of lifecycle + span events
     GET    /healthz              liveness + queue occupancy
-    GET    /metrics              session metrics snapshot (render_snapshot)
+    GET    /metrics              session metrics snapshot (render_snapshot);
+                                 ``?format=prometheus`` for text exposition
+    GET    /traces               recent completed traces (``?min_duration_ms=``
+                                 ``&status=``, ``&slow=1``, ``&limit=``)
+    GET    /traces/{id}          one trace's full span tree
+
+A ``POST /queries`` carrying a W3C-style ``traceparent`` header joins
+the caller's distributed trace: the job runs under the same trace id
+(with its own span ids) and the exported record links back to the
+caller's span.  A malformed header is a 400, not a silently fresh
+trace.
 
 Admission control (queue depth, per-client concurrency keyed on the
 API-token header) answers 429 with a ``Retry-After`` hint; a draining
@@ -36,9 +46,13 @@ import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.obs import render_snapshot
+from urllib.parse import parse_qs
+
+from repro.obs import (SlowQueryLog, TraceBuffer, TraceContext,
+                       TraceContextError, TraceExporter, TracePipeline,
+                       render_prometheus, render_snapshot)
 from repro.serve.admission import AdmissionError
-from repro.serve.jobs import JobManager
+from repro.serve.jobs import LANE_BACKENDS, JobManager
 from repro.serve.schemas import error_body, parse_submit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,6 +66,7 @@ _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
 
 _JOB_PATH = re.compile(r"^/queries/(?P<id>[A-Za-z0-9_-]+)$")
 _EVENTS_PATH = re.compile(r"^/queries/(?P<id>[A-Za-z0-9_-]+)/events$")
+_TRACE_PATH = re.compile(r"^/traces/(?P<id>[0-9a-f]{1,32})$")
 
 _MAX_BODY_BYTES = 1_000_000
 _MAX_HEADER_LINES = 100
@@ -85,6 +100,17 @@ class ServeConfig:
     #: shared cache tier the served session connects to
     #: (:mod:`repro.cachenet`); ``None`` = local caches only.
     cache_url: str | None = None
+    #: JSONL spool every finished job's trace record is appended to;
+    #: ``None`` keeps traces in memory only.
+    trace_export_file: str | None = None
+    #: capacity of the in-memory ring behind ``GET /traces``.
+    trace_buffer: int = 256
+    #: jobs at/above this wall-clock duration are flagged slow and land
+    #: in the slow-query log; ``None`` disables the threshold.
+    slow_query_ms: float | None = None
+    #: where job queries execute: ``thread`` (in-process engines) or
+    #: ``process`` (one worker-lane process per serve worker).
+    lane_backend: str = "thread"
 
 
 class _BadRequest(Exception):
@@ -156,12 +182,21 @@ class QueryServer:
     def __init__(self, session: "Session", config: ServeConfig | None = None):
         self.session = session
         self.config = config or ServeConfig()
+        self.traces = TracePipeline(
+            buffer=TraceBuffer(self.config.trace_buffer),
+            exporter=(TraceExporter(self.config.trace_export_file)
+                      if self.config.trace_export_file else None),
+            slow_log=(SlowQueryLog(self.config.slow_query_ms)
+                      if self.config.slow_query_ms is not None else None),
+            metrics=session.metrics_registry)
         self.jobs = JobManager(
             session, workers=self.config.workers,
             queue_depth=self.config.queue_depth,
             per_client_limit=self.config.per_client_limit,
             default_timeout_s=self.config.job_timeout_s,
-            retry_after_s=self.config.retry_after_s)
+            retry_after_s=self.config.retry_after_s,
+            lane_backend=self.config.lane_backend,
+            trace_pipeline=self.traces)
         self._server: asyncio.AbstractServer | None = None
         self._stopped = asyncio.Event()
         self._drain_started = False
@@ -290,15 +325,21 @@ class QueryServer:
         """Route one request; returns whether to keep the connection."""
         self.session.metrics_registry.increment("serve_requests_total")
         keep = request.keep_alive
-        path, method = request.path.split("?", 1)[0], request.method
+        path, _, query_string = request.path.partition("?")
+        method = request.method
 
         if path == "/healthz" and method == "GET":
             writer.write(_encode_response(200, self._healthz(), keep_alive=keep))
             return keep
         if path == "/metrics" and method == "GET":
-            return self._respond_metrics(writer, keep)
+            return self._respond_metrics(writer, keep, query_string)
         if path == "/queries" and method == "POST":
             return self._respond_submit(request, writer, keep)
+        if path == "/traces" and method == "GET":
+            return self._respond_traces(writer, keep, query_string)
+        match = _TRACE_PATH.match(path)
+        if match and method == "GET":
+            return self._respond_trace(match.group("id"), writer, keep)
         match = _JOB_PATH.match(path)
         if match:
             if method == "GET":
@@ -328,18 +369,67 @@ class QueryServer:
         return {"status": status, "workers": self.config.workers,
                 "lake": self.session.lake.name, **occupancy}
 
-    def _respond_metrics(self, writer: asyncio.StreamWriter,
-                         keep: bool) -> bool:
+    def _respond_metrics(self, writer: asyncio.StreamWriter, keep: bool,
+                         query_string: str = "") -> bool:
         # observability_snapshot = session metrics + the cache tier's own
         # STATS (when connected), so tier hit ratios ride the same body.
-        body = render_snapshot(
-            self.session.observability_snapshot()).encode("utf-8")
+        snapshot = self.session.observability_snapshot()
+        wanted = parse_qs(query_string).get("format", ["json"])[-1]
+        if wanted == "prometheus":
+            body = render_prometheus(snapshot).encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif wanted == "json":
+            body = render_snapshot(snapshot).encode("utf-8")
+            content_type = "application/json"
+        else:
+            writer.write(_encode_response(
+                400, error_body("bad_request",
+                                f"unknown metrics format {wanted!r} "
+                                f"(expected 'json' or 'prometheus')"),
+                keep_alive=keep))
+            return keep
         head = (f"HTTP/1.1 200 OK\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: {'keep-alive' if keep else 'close'}\r\n"
                 f"\r\n").encode("latin-1")
         writer.write(head + body)
+        return keep
+
+    def _respond_traces(self, writer: asyncio.StreamWriter, keep: bool,
+                        query_string: str = "") -> bool:
+        params = parse_qs(query_string)
+        try:
+            limit = int(params.get("limit", ["50"])[-1])
+            min_duration_ms = float(
+                params.get("min_duration_ms", ["0"])[-1])
+        except ValueError:
+            writer.write(_encode_response(
+                400, error_body("bad_request",
+                                "'limit' and 'min_duration_ms' must be "
+                                "numbers"), keep_alive=keep))
+            return keep
+        status = params.get("status", [None])[-1]
+        slow_only = params.get("slow", ["0"])[-1] in ("1", "true", "yes")
+        traces = self.traces.buffer.recent(
+            limit=max(1, min(limit, 500)),
+            min_duration_ms=min_duration_ms,
+            status=status, slow_only=slow_only)
+        writer.write(_encode_response(
+            200, {"traces": traces, "count": len(traces)},
+            keep_alive=keep))
+        return keep
+
+    def _respond_trace(self, trace_id: str, writer: asyncio.StreamWriter,
+                       keep: bool) -> bool:
+        record = self.traces.buffer.get(trace_id)
+        if record is None:
+            writer.write(_encode_response(
+                404, error_body("not_found", f"no trace {trace_id!r} in "
+                                f"the recent-trace buffer"),
+                keep_alive=keep))
+            return keep
+        writer.write(_encode_response(200, record, keep_alive=keep))
         return keep
 
     def _client_of(self, request: _Request) -> str:
@@ -354,9 +444,20 @@ class QueryServer:
             writer.write(_encode_response(
                 400, error_body("bad_request", str(exc)), keep_alive=keep))
             return keep
+        trace_context = None
+        header = request.headers.get("traceparent")
+        if header is not None:
+            try:
+                trace_context = TraceContext.parse_traceparent(header)
+            except TraceContextError as exc:
+                writer.write(_encode_response(
+                    400, error_body("bad_traceparent", str(exc)),
+                    keep_alive=keep))
+                return keep
         try:
             job = self.jobs.submit(submit.query, self._client_of(request),
-                                   timeout_s=submit.timeout_s)
+                                   timeout_s=submit.timeout_s,
+                                   trace_context=trace_context)
         except AdmissionError as exc:
             headers = ()
             if exc.retry_after_s is not None:
@@ -542,6 +643,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "(tcp://host:port or unix:///path.sock, see "
                              "'repro cache-server'); a down tier degrades "
                              "to local caches")
+    parser.add_argument("--lane-backend", choices=LANE_BACKENDS,
+                        default="thread",
+                        help="where jobs execute: in-process engines "
+                             "('thread', default) or dedicated worker-"
+                             "lane processes ('process')")
+    parser.add_argument("--trace-export-file", metavar="PATH", default=None,
+                        help="JSONL spool appended with one trace record "
+                             "per finished job (read by 'repro trace')")
+    parser.add_argument("--trace-buffer", type=positive_int, default=256,
+                        help="recent traces kept in memory for GET "
+                             "/traces (default: 256)")
+    parser.add_argument("--slow-query-ms", type=positive_float, default=None,
+                        help="flag jobs at/above this duration as slow "
+                             "(default: slow-query log disabled)")
     return parser
 
 
@@ -577,7 +692,11 @@ def main(argv: list[str] | None = None) -> int:
         drain_grace_s=args.drain_grace_s,
         plan_cache_file=args.plan_cache_file,
         answer_cache_file=args.answer_cache_file,
-        cache_url=args.cache_url)
+        cache_url=args.cache_url,
+        lane_backend=args.lane_backend,
+        trace_export_file=args.trace_export_file,
+        trace_buffer=args.trace_buffer,
+        slow_query_ms=args.slow_query_ms)
     session = build_session(args)
 
     async def _serve() -> bool:

@@ -35,9 +35,15 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.plan import ErrorEvent, PlanTrace, QueryResult
-from repro.obs import StageTrace
+from repro.obs import StageTrace, TraceContext, build_trace_record
 from repro.serve.admission import AdmissionController, AdmissionError
 from repro.serve.schemas import job_links
+
+#: Where a job's query actually executes: ``thread`` runs it on an
+#: in-process engine (one per worker thread), ``process`` runs it in a
+#: dedicated single-process worker lane (the process backend's lanes) so
+#: served queries break the GIL wall too.
+LANE_BACKENDS = ("thread", "process")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.session import Session
@@ -56,11 +62,21 @@ class Job:
     """One submitted query and everything that happened to it."""
 
     def __init__(self, job_id: str, query: str, client: str,
-                 timeout_s: float | None):
+                 timeout_s: float | None,
+                 context: TraceContext | None = None,
+                 remote_parent: str | None = None):
         self.id = job_id
         self.query = query
         self.client = client
         self.timeout_s = timeout_s
+        #: this job's :class:`~repro.obs.TraceContext` — minted fresh on
+        #: submit, or derived (same trace id, new span id) from a
+        #: client-supplied ``traceparent`` header.
+        self.context = context or TraceContext.new()
+        #: the client's own span id when the trace came in over HTTP,
+        #: recorded in the exported trace so the caller's tracing system
+        #: can stitch the trees together.
+        self.remote_parent = remote_parent
         self.status = "queued"
         self.result: QueryResult | None = None
         self.worker_id: int | None = None
@@ -71,7 +87,8 @@ class Job:
         self._events: list[dict] = []
         self._finished = threading.Event()
         self.emit({"event": "queued", "job_id": self.id,
-                   "query": self.query})
+                   "query": self.query,
+                   "trace_id": self.context.trace_id})
 
     # ------------------------------------------------------------------
     # Event log (consumed by the streaming endpoint)
@@ -150,7 +167,9 @@ class Job:
                 "status": self.status,
                 "query": self.query,
                 "client": self.client,
-                "links": job_links(self.id),
+                "trace_id": self.context.trace_id,
+                "links": job_links(self.id,
+                                   trace_id=self.context.trace_id),
             }
             if self.queue_wait_s is not None:
                 payload["queue_wait_ms"] = round(self.queue_wait_s * 1000, 3)
@@ -169,12 +188,29 @@ class JobManager:
                  queue_depth: int = 32, per_client_limit: int = 8,
                  default_timeout_s: float | None = 60.0,
                  retry_after_s: float = 1.0,
-                 max_jobs_kept: int = 4096):
+                 max_jobs_kept: int = 4096,
+                 lane_backend: str = "thread",
+                 trace_pipeline=None):
         if workers <= 0:
             raise ValueError(f"workers must be positive: {workers}")
+        if lane_backend not in LANE_BACKENDS:
+            raise ValueError(f"lane_backend must be one of "
+                             f"{LANE_BACKENDS}, got {lane_backend!r}")
+        if (lane_backend == "process"
+                and getattr(session.lake, "spec", None) is None):
+            raise ValueError(
+                "lane_backend='process' needs a lake that knows its "
+                "generation parameters (lake.spec is None); build the "
+                "lake with repro.datasets.load_lake / LakeSpec.build, or "
+                "serve with thread lanes")
         self.session = session
         self.workers = workers
         self.default_timeout_s = default_timeout_s
+        self.lane_backend = lane_backend
+        #: optional :class:`~repro.obs.TracePipeline`; every finished job
+        #: is assembled into a trace record and fanned to its sinks.
+        self.trace_pipeline = trace_pipeline
+        self._lane_payload_cached: dict | None = None
         self.metrics = session.metrics_registry
         self.admission = AdmissionController(
             queue_depth=queue_depth, per_client_limit=per_client_limit,
@@ -197,18 +233,31 @@ class JobManager:
     # ------------------------------------------------------------------
 
     def submit(self, query: str, client: str,
-               timeout_s: float | None = None) -> Job:
+               timeout_s: float | None = None,
+               trace_context: TraceContext | None = None) -> Job:
         """Admit and enqueue one query; raises AdmissionError when full.
 
         The effective timeout is the requested one capped by the server
         default, so a client can tighten but never loosen the budget.
+
+        *trace_context* is the caller's context from a ``traceparent``
+        header: the job joins that trace (same trace id, its own fresh
+        span id, the caller's span recorded as the remote parent);
+        ``None`` mints a new trace.
         """
         self.admission.admit(client)
         effective = self.default_timeout_s
         if timeout_s is not None:
             effective = (min(timeout_s, effective)
                          if effective is not None else timeout_s)
-        job = Job(self._next_id(), query, client, effective)
+        if trace_context is not None:
+            context = trace_context.child()
+            remote_parent = trace_context.span_id
+        else:
+            context = TraceContext.new()
+            remote_parent = None
+        job = Job(self._next_id(), query, client, effective,
+                  context=context, remote_parent=remote_parent)
         with self._jobs_lock:
             self._jobs[job.id] = job
             self._evict_finished()
@@ -289,6 +338,12 @@ class JobManager:
                 return
 
     def _worker(self, index: int) -> None:
+        if self.lane_backend == "process":
+            self._process_worker(index)
+        else:
+            self._thread_worker(index)
+
+    def _thread_worker(self, index: int) -> None:
         engine = self.session.make_engine()
         # A single-thread inner executor per worker enforces the per-job
         # timeout: on expiry the inner thread (and its engine) is
@@ -307,6 +362,7 @@ class JobManager:
             self.admission.mark_started()
             self.metrics.observe("serve_queue_wait", job.queue_wait_s)
             engine.span_listener = job.emit_span
+            engine.trace_context = job.context
             try:
                 future = inner.submit(engine.query, job.query)
                 result = future.result(timeout=job.timeout_s)
@@ -319,11 +375,137 @@ class JobManager:
                 engine, inner = self._replace_engine(inner, index)
             else:
                 engine.span_listener = None
-            job.finish(result)
-            self.admission.release_running(job.client)
-            self.metrics.increment("serve_jobs_completed_total")
-            self.metrics.observe("serve_job_latency",
-                                 time.perf_counter() - job.submitted)
+                engine.trace_context = None
+            self._finish(job, index, result)
+
+    def _process_worker(self, index: int) -> None:
+        """Worker loop of the ``process`` lane backend: each worker owns
+        one single-process lane (:class:`repro.exec.process._Lane`) and
+        runs every job through :func:`repro.exec.procworker.
+        run_worker_query`, shipping the job's trace context across the
+        pipe.  Timeout and crash semantics mirror the process backend:
+        the lane is killed and lazily rebuilt, and an in-worker engine
+        crash falls back to an in-parent engine so the job still
+        resolves with a full trace.
+        """
+        from repro.exec.process import _Lane, default_start_method
+        lane = _Lane(index, default_start_method())
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                lane.close()
+                return
+            job: Job = item
+            if not job.take_for_run(index):
+                continue
+            self.admission.mark_started()
+            self.metrics.observe("serve_queue_wait", job.queue_wait_s)
+            try:
+                lane.ensure(self._lane_payload())
+                future = lane.submit(job.query, job.context.to_dict())
+                payload = future.result(timeout=job.timeout_s)
+            except FutureTimeoutError:
+                lane.kill()
+                result = self._timeout_result(job, index)
+            except Exception as exc:  # noqa: BLE001 - worker must survive
+                lane.kill()
+                result = self._crash_result(job, index, exc)
+            else:
+                result = self._fold_lane_payload(job, index, payload)
+            # Spans crossed the pipe inside the result; replay them onto
+            # the event stream so NDJSON consumers see the same shape as
+            # thread lanes (post-hoc rather than live).
+            for span in result.telemetry.spans:
+                job.emit_span(span)
+            self._finish(job, index, result)
+
+    def _finish(self, job: Job, index: int, result: QueryResult) -> None:
+        job.finish(result)
+        self.admission.release_running(job.client)
+        self.metrics.increment("serve_jobs_completed_total")
+        duration_s = time.perf_counter() - job.submitted
+        self.metrics.observe("serve_job_latency", duration_s)
+        self._record_trace(job, index, result, duration_s)
+
+    def _record_trace(self, job: Job, index: int, result: QueryResult,
+                      duration_s: float) -> None:
+        """Assemble and record the finished job's exportable trace."""
+        pipeline = self.trace_pipeline
+        if pipeline is None:
+            return
+        extra_spans = []
+        if job.queue_wait_s is not None:
+            extra_spans.append({
+                "name": "queue.wait",
+                "duration_ms": round(job.queue_wait_s * 1000.0, 3)})
+        attributes = {"job_id": job.id, "client": job.client,
+                      "worker_id": index, "kind": result.kind,
+                      "lane_backend": self.lane_backend}
+        try:
+            pipeline.record(build_trace_record(
+                job.context, job.query, result.telemetry,
+                status="ok" if result.ok else "error",
+                duration_ms=duration_s * 1000.0,
+                root_name="serve.request",
+                parent_span_id=job.remote_parent,
+                attributes=attributes,
+                extra_spans=extra_spans))
+        except Exception:  # noqa: BLE001 - tracing must never fail a job
+            self.metrics.increment("trace_record_errors_total")
+
+    def _lane_payload(self) -> dict:
+        """The (cached) process-lane init payload for this session."""
+        if self._lane_payload_cached is None:
+            from repro.exec.process import build_init_payload
+            session = self.session
+            self._lane_payload_cached = build_init_payload(
+                session, session.lake.spec,
+                session.lake.content_fingerprint(),
+                session.lake.fingerprint())
+        return self._lane_payload_cached
+
+    def _fold_lane_payload(self, job: Job, index: int,
+                           payload: dict) -> QueryResult:
+        """Fold one lane reply into the session, mirroring
+        :meth:`repro.exec.process.ProcessBackend._collect`: merge the
+        metrics delta, import fresh plans/answers into the parent
+        caches, and fall back to an in-parent engine when the worker's
+        engine crashed.
+        """
+        from repro.core.plan import LogicalPlan
+        from repro.data.datatypes import decode_scalar
+        session = self.session
+        session.metrics_registry.merge_delta(payload.get("metrics_delta"))
+        if not payload.get("ok"):
+            self.metrics.increment("serve_worker_failures_total")
+            event = ErrorEvent.worker_failure(
+                f"job {job.id} crashed its worker lane {index}: "
+                f"{payload.get('error')}", worker_id=index)
+            engine = session.make_engine()
+            engine.trace_context = job.context
+            try:
+                result = engine.query(job.query)
+            except Exception as exc:  # noqa: BLE001 - poisoned query
+                return self._worker_error(
+                    job, index,
+                    f"job {job.id}: worker lane and in-parent fallback "
+                    f"both failed: {exc}")
+            event.recovered = True
+            if result.trace is not None:
+                result.trace.errors.insert(0, event)
+            return result
+        result = QueryResult.from_dict(payload["result"])
+        fresh_plan = payload.get("fresh_plan")
+        if fresh_plan is not None:
+            session.plan_cache.put(
+                (job.query, session.lake.fingerprint()),
+                LogicalPlan.from_dict(fresh_plan))
+        for fingerprint, question, answer_type, answer in payload.get(
+                "fresh_answers", []):
+            session.answer_cache.put(
+                (fingerprint, question, answer_type),
+                decode_scalar(answer))
+        return result
 
     def _replace_engine(self, inner: ThreadPoolExecutor,
                         index: int) -> tuple:
@@ -348,7 +530,7 @@ class JobManager:
 
     @staticmethod
     def _worker_error(job: Job, index: int, message: str) -> QueryResult:
-        trace = PlanTrace(query=job.query)
+        trace = PlanTrace(query=job.query, trace_id=job.context.trace_id)
         trace.errors.append(ErrorEvent.worker_failure(
             message, recovered=False, worker_id=index))
         return QueryResult(kind="error", error=message, trace=trace)

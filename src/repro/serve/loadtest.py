@@ -38,6 +38,9 @@ from pathlib import Path
 from repro.benchmarks.workloads import WORKLOAD_VERSION, workload
 
 DEFAULT_OUTPUT = "BENCH_serve.json"
+#: how many of a pass's slowest requests are named (with trace ids) in
+#: the report.
+SLOWEST_KEPT = 5
 #: self-host default: simulate a remote planner round trip per model
 #: call, same default as ``repro bench`` — load numbers should reflect
 #: the latency-bound profile a real deployment sees.
@@ -133,7 +136,12 @@ class _Client:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def run_query(self, query: str) -> dict:
-        """Submit, honour 429 back-pressure, poll to completion."""
+        """Submit, honour 429 back-pressure, poll to completion.
+
+        Each result carries the job's ``trace_id`` (from the 202 body),
+        so the report can name the exact traces behind its slowest
+        requests — ``repro trace show <id>`` then explains *why*.
+        """
         started = time.perf_counter()
         deadline = started + self.config.request_deadline_s
         rejections = 0
@@ -147,31 +155,37 @@ class _Client:
                 retry_after = float(headers.get("Retry-After", 1))
                 if time.perf_counter() + retry_after > deadline:
                     return {"ok": False, "status": status,
-                            "rejections": rejections,
+                            "rejections": rejections, "query": query,
+                            "trace_id": None,
                             "latency_s": time.perf_counter() - started,
                             "outcome": "rejected"}
                 time.sleep(retry_after)
                 continue
             return {"ok": False, "status": status,
-                    "rejections": rejections,
+                    "rejections": rejections, "query": query,
+                    "trace_id": None,
                     "latency_s": time.perf_counter() - started,
                     "outcome": f"http_{status}"}
         job_id = body["id"]
+        trace_id = body.get("trace_id")
         while True:
             status, _, body = self.request("GET", f"/queries/{job_id}")
             if status != 200:
                 return {"ok": False, "status": status,
-                        "rejections": rejections,
+                        "rejections": rejections, "query": query,
+                        "trace_id": trace_id,
                         "latency_s": time.perf_counter() - started,
                         "outcome": f"poll_http_{status}"}
             if body["status"] in ("done", "cancelled"):
                 ok = bool(body.get("ok")) and body["status"] == "done"
                 return {"ok": ok, "status": 200, "rejections": rejections,
+                        "query": query, "trace_id": trace_id,
                         "latency_s": time.perf_counter() - started,
                         "outcome": "done" if ok else "query_error"}
             if time.perf_counter() > deadline:
                 return {"ok": False, "status": 200,
-                        "rejections": rejections,
+                        "rejections": rejections, "query": query,
+                        "trace_id": trace_id,
                         "latency_s": time.perf_counter() - started,
                         "outcome": "deadline"}
             time.sleep(self.config.poll_interval_s)
@@ -203,6 +217,7 @@ def _run_pass(host: str, port: int, queries: list[str],
                 collected.append(client.run_query(query))
             except Exception as exc:  # noqa: BLE001 - a dead client is a data point
                 collected.append({"ok": False, "status": 0, "rejections": 0,
+                                  "query": query, "trace_id": None,
                                   "latency_s": 0.0,
                                   "outcome": f"transport_"
                                              f"{type(exc).__name__}"})
@@ -222,6 +237,14 @@ def _run_pass(host: str, port: int, queries: list[str],
 
     latencies = [r["latency_s"] * 1000 for r in results if r["ok"]]
     errors = [r for r in results if not r["ok"]]
+    # The worst tail, by name: each slow request's trace id points into
+    # the server's trace buffer / export spool for span-level diagnosis.
+    slowest = [
+        {"trace_id": r["trace_id"], "query": r["query"],
+         "latency_ms": round(r["latency_s"] * 1000, 3)}
+        for r in sorted((r for r in results if r["ok"]),
+                        key=lambda r: r["latency_s"],
+                        reverse=True)[:SLOWEST_KEPT]]
     return {
         "requests": len(results),
         "ok": len(latencies),
@@ -236,6 +259,7 @@ def _run_pass(host: str, port: int, queries: list[str],
         "max_ms": round(max(latencies), 3) if latencies else 0.0,
         "wall_seconds": round(wall, 3),
         "throughput_rps": round(len(results) / wall, 3) if wall else 0.0,
+        "slowest": slowest,
     }
 
 

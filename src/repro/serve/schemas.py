@@ -54,10 +54,13 @@ def parse_submit(payload: object) -> SubmitRequest:
     return SubmitRequest(query=query.strip(), timeout_s=timeout_s)
 
 
-def job_links(job_id: str) -> dict:
+def job_links(job_id: str, trace_id: str | None = None) -> dict:
     """The navigation links attached to every job payload."""
-    return {"self": f"/queries/{job_id}",
-            "events": f"/queries/{job_id}/events"}
+    links = {"self": f"/queries/{job_id}",
+             "events": f"/queries/{job_id}/events"}
+    if trace_id is not None:
+        links["trace"] = f"/traces/{trace_id}"
+    return links
 
 
 def error_body(reason: str, detail: str,

@@ -164,9 +164,21 @@ class Session:
     # Querying
     # ------------------------------------------------------------------
 
-    def query(self, query: str) -> QueryResult:
-        """Answer one natural-language query with a full trace."""
-        return self._pool(1)[0].query(query)
+    def query(self, query: str,
+              trace_context=None) -> QueryResult:
+        """Answer one natural-language query with a full trace.
+
+        *trace_context* is an optional :class:`~repro.obs.TraceContext`
+        the query should run under (distributed tracing: a caller that
+        already owns a trace — the serve layer — passes its context so
+        this query's spans join it); ``None`` mints a fresh trace.
+        """
+        engine = self._pool(1)[0]
+        engine.trace_context = trace_context
+        try:
+            return engine.query(query)
+        finally:
+            engine.trace_context = None
 
     def batch(self, queries: Sequence[str] | Iterable[str],
               workers: int = 1, backend: object | None = None) -> BatchReport:
@@ -261,16 +273,25 @@ class Session:
         """
         return self.metrics_registry.snapshot()
 
-    def cachenet_stats(self) -> dict | None:
+    #: Socket-timeout budget (seconds) for one STATS round trip inside a
+    #: metrics scrape; combined with ``retries=0`` it bounds how long a
+    #: hung tier can delay :meth:`observability_snapshot`.
+    CACHENET_STATS_TIMEOUT = 0.25
+
+    def cachenet_stats(self, timeout: float | None = None) -> dict | None:
         """The shared cache tier's own STATS snapshot, or ``None``.
 
         ``None`` when the session has no *cache_url* or the tier is
         currently unreachable (degraded mode never raises here).
+        *timeout* bounds the single attempt (socket timeout in seconds,
+        no retries); ``None`` uses the client's default budget.
         """
         if self._cache_client is None:
             return None
         from repro.cachenet import CacheUnavailable
         try:
+            if timeout is not None:
+                return self._cache_client.stats(timeout=timeout, retries=0)
             return self._cache_client.stats()
         except CacheUnavailable:
             return None
@@ -284,9 +305,14 @@ class Session:
         histograms, derived rates, and — when a tier is connected — its
         server-side view under ``"cachenet_server"``, so tier hit ratios
         read straight off the same document.
+
+        The STATS round trip runs under a small fixed budget
+        (:data:`CACHENET_STATS_TIMEOUT`, single attempt), so a hung or
+        wedged cache server degrades the snapshot to session-only data
+        instead of stalling a ``/metrics`` scrape.
         """
         snapshot = self.metrics_registry.snapshot()
-        stats = self.cachenet_stats()
+        stats = self.cachenet_stats(timeout=self.CACHENET_STATS_TIMEOUT)
         if stats is not None:
             snapshot["cachenet_server"] = stats
         return snapshot
