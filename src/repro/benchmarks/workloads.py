@@ -15,13 +15,18 @@ Version history:
   (players ⋈ teams on ``team = name``), multi-measure aggregates, and
   typed date-range filters, so the benchmark tracks join-heavy
   throughput.
+- **v3** — adds the ``relational`` workload family: pure
+  filter/join/aggregate queries with no modality operators, the
+  storage-bound profile the columnar-vs-row ``repro bench`` comparison
+  is measured on (a VQA query at scale 500 would rasterize 60,000
+  images and measure the renderer, not the store).
 """
 
 from __future__ import annotations
 
 #: Bumped whenever a fixed workload deliberately changes; lands in the
 #: benchmark record so cross-commit comparisons stay honest.
-WORKLOAD_VERSION = 2
+WORKLOAD_VERSION = 3
 
 #: Unique queries per dataset; the harness repeats the whole list
 #: ``--repeats`` times to form one run's workload.
@@ -62,6 +67,47 @@ WORKLOADS: dict[str, tuple[str, ...]] = {
 }
 
 
+#: v3: the storage-bound workload — filters, joins, GROUP BY, date
+#: ranges and multi-measure aggregates over relational columns only.
+#: No VQA / TextQA / plot queries, so per-query cost scales with lake
+#: rows and the columnar-vs-row store comparison measures the store.
+RELATIONAL_WORKLOADS: dict[str, tuple[str, ...]] = {
+    "artwork": (
+        "How many paintings belong to the 'Impressionism' movement?",
+        "For each movement, how many paintings are there?",
+        "What is the earliest inception date of all paintings?",
+        "What are the earliest and latest inception dates of "
+        "impressionist paintings?",
+        "For each movement, what are the earliest and latest inception "
+        "dates?",
+        "How many paintings were created between 1880 and 1895?",
+    ),
+    "rotowire": (
+        "How many players are taller than 200?",
+        "List the names of players taller than 200.",
+        "Who is the tallest player?",
+        "What is the average height of players in the Eastern conference?",
+        "How many players play for teams in the Atlantic division?",
+        "What is the average number of points scored by players on teams "
+        "founded before 1970?",
+        "What are the minimum and maximum height of players in the "
+        "Western conference?",
+        "How many games took place in November 2018?",
+    ),
+}
+
+#: The selectable workload families for ``repro bench --workload``.
+WORKLOAD_FAMILIES: dict[str, dict[str, tuple[str, ...]]] = {
+    "standard": WORKLOADS,
+    "relational": RELATIONAL_WORKLOADS,
+}
+
+
+def workload_names() -> tuple[str, ...]:
+    """The workload family names, sorted."""
+    return tuple(sorted(WORKLOAD_FAMILIES))
+
+
 def workload_datasets() -> tuple[str, ...]:
     """Datasets that have a fixed benchmark workload, sorted.
 
@@ -71,11 +117,16 @@ def workload_datasets() -> tuple[str, ...]:
     return tuple(sorted(WORKLOADS))
 
 
-def workload(dataset: str, repeats: int = 1) -> list[str]:
-    """The fixed workload of *dataset*, repeated *repeats* times."""
-    if dataset not in WORKLOADS:
-        raise KeyError(f"no benchmark workload for dataset {dataset!r}; "
-                       f"available: {', '.join(sorted(WORKLOADS))}")
+def workload(dataset: str, repeats: int = 1,
+             name: str = "standard") -> list[str]:
+    """The fixed *name* workload of *dataset*, repeated *repeats* times."""
+    if name not in WORKLOAD_FAMILIES:
+        raise KeyError(f"no workload family {name!r}; "
+                       f"available: {', '.join(workload_names())}")
+    family = WORKLOAD_FAMILIES[name]
+    if dataset not in family:
+        raise KeyError(f"no {name} workload for dataset {dataset!r}; "
+                       f"available: {', '.join(sorted(family))}")
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
-    return list(WORKLOADS[dataset]) * repeats
+    return list(family[dataset]) * repeats

@@ -121,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", add_help=False,
         help="inspect exported trace records: span trees, recent "
              "traces, slowest queries ('repro trace --help')")
+    subparsers.add_parser(
+        "fuzz", add_help=False,
+        help="differential query fuzzer: sqlite / columnar / native "
+             "engines must agree byte-for-byte ('repro fuzz --help')")
     return parser
 
 
@@ -267,6 +271,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv[0] == "trace":
         from repro.obs.tracecli import main as trace_main
         return trace_main(argv[1:])
+    if argv[0] == "fuzz":
+        from repro.testing.fuzz import main as fuzz_main
+        return fuzz_main(argv[1:])
     if argv[0].startswith("-") and argv[0] not in ("--version", "-h",
                                                    "--help"):
         # Flag-style invocation (repro --dataset ... --query/--batch ...)

@@ -35,9 +35,10 @@ as a deprecated shim; new code goes through :class:`repro.session.Session`.
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.interfaces import (Executor, Mapper, Planner, PromptMapper,
                                    PromptPlanner, RegistryExecutor)
@@ -66,6 +67,13 @@ class EngineConfig:
     use_discovery: bool = True    # run the discovery prompt for column hints
     few_shot: bool = True         # include few-shot examples when planning
     max_observations: int = 6     # observations fed into each mapping prompt
+    #: which relational engine executes SQL / Join steps: ``"columnar"``
+    #: (vectorized kernels over column storage, sqlite fallback),
+    #: ``"native"`` (row-wise repro.relational.ops, sqlite fallback), or
+    #: ``"sqlite"`` (always the bridge).  All three are byte-identical —
+    #: the differential fuzzer (repro.testing.fuzz) asserts it.
+    relational_engine: str = field(default_factory=lambda: os.environ.get(
+        "REPRO_RELATIONAL_ENGINE", "columnar"))
 
 
 @dataclass
@@ -253,7 +261,8 @@ class Engine:
                     for name in self.lake.source_names},
             answer_cache=self.answer_cache,
             sql_bridge=self.sql_bridge,
-            telemetry=trace.telemetry)
+            telemetry=trace.telemetry,
+            relational_engine=self.config.relational_engine)
         cards = self.executor.cards()
         observations: list[str] = []
         last_table: Table | None = None

@@ -5,6 +5,15 @@ columns hold ``int/float/str/bool/date`` values (or ``None``); modality
 columns (``IMAGE``, ``TEXT``) hold arbitrary Python objects such as rendered
 :class:`repro.vision.image.Image` rasters or long report strings.
 
+Storage is columnar for real: relational columns pack into the typed
+stores of :mod:`repro.data.columns` — int64/float64 ``array`` buffers,
+byte-wide bools, date ordinals, dictionary-encoded interned strings —
+with plain-list object storage as the fallback for modality columns and
+anything the typed stores cannot represent exactly.  The public surface
+is unchanged: :meth:`column` still returns a Python list (memoized
+materialization), ``to_dict``/``from_dict`` and :meth:`fingerprint` are
+byte-identical with the historical row store, so old caches still load.
+
 All relational operators in :mod:`repro.relational` and all multi-modal
 operators in :mod:`repro.operators` consume and produce ``Table`` values.
 """
@@ -14,6 +23,8 @@ from __future__ import annotations
 import hashlib
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from repro.data.columns import (Column, ColumnBuilder, build_column,
+                                concat_columns)
 from repro.data.datatypes import (DataType, coerce, decode_scalar,
                                   encode_scalar, infer_column_type)
 from repro.data.schema import ColumnSpec, Schema
@@ -23,7 +34,7 @@ from repro.errors import SchemaError, UnknownColumnError
 class Table:
     """An ordered collection of equally-long named columns."""
 
-    def __init__(self, schema: Schema, columns: Mapping[str, Sequence[object]]):
+    def __init__(self, schema: Schema, columns: Mapping[str, object]):
         lengths = {len(v) for v in columns.values()}
         if len(lengths) > 1:
             raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
@@ -34,10 +45,12 @@ class Table:
         if extra:
             raise SchemaError(f"data columns not in schema: {', '.join(extra)}")
         self.schema = schema
-        self._columns: dict[str, list[object]] = {
-            spec.name: list(columns[spec.name]) for spec in schema.columns
+        self._columns: dict[str, Column] = {
+            spec.name: build_column(columns[spec.name], spec.dtype)
+            for spec in schema.columns
         }
         self._fingerprint: str | None = None
+        self._samples: dict[tuple[str, int], list[object]] = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -45,25 +58,34 @@ class Table:
 
     @classmethod
     def from_rows(cls, schema: Schema, rows: Iterable[Sequence[object]]) -> "Table":
-        """Build a table from row tuples ordered like ``schema.columns``."""
+        """Build a table from row tuples ordered like ``schema.columns``.
+
+        *rows* may be any iterable — a generator feeds the typed column
+        builders directly, so the row stream is never materialized.
+        """
         names = schema.column_names
-        columns: dict[str, list[object]] = {name: [] for name in names}
+        builders = [ColumnBuilder(spec.dtype) for spec in schema.columns]
+        width = len(names)
         for row in rows:
-            if len(row) != len(names):
+            if len(row) != width:
                 raise SchemaError(
-                    f"row has {len(row)} values, schema has {len(names)} columns")
-            for name, value in zip(names, row):
-                columns[name].append(value)
+                    f"row has {len(row)} values, schema has {width} columns")
+            for builder, value in zip(builders, row):
+                builder.append(value)
+        columns = {name: builder.finish()
+                   for name, builder in zip(names, builders)}
         return cls(schema, columns)
 
     @classmethod
     def from_dicts(cls, schema: Schema, rows: Iterable[Mapping[str, object]]) -> "Table":
         """Build a table from row dictionaries (missing keys become ``None``)."""
-        columns: dict[str, list[object]] = {n: [] for n in schema.column_names}
+        names = schema.column_names
+        builders = {name: ColumnBuilder(schema.dtype(name)) for name in names}
         for row in rows:
-            for name in columns:
-                columns[name].append(row.get(name))
-        return cls(schema, columns)
+            for name, builder in builders.items():
+                builder.append(row.get(name))
+        return cls(schema, {name: builder.finish()
+                            for name, builder in builders.items()})
 
     @classmethod
     def infer(cls, columns: Mapping[str, Sequence[object]],
@@ -115,23 +137,41 @@ class Table:
         """The values of one column (a defensive copy is *not* taken)."""
         if name not in self._columns:
             raise UnknownColumnError(name, self.column_names)
+        return self._columns[name].materialize()
+
+    def storage(self, name: str) -> Column:
+        """The underlying :class:`~repro.data.columns.Column` store.
+
+        The columnar executor reads typed buffers through this; everyone
+        else should use :meth:`column`.
+        """
+        if name not in self._columns:
+            raise UnknownColumnError(name, self.column_names)
         return self._columns[name]
+
+    def iter_column(self, name: str) -> Iterator[object]:
+        """Iterate one column's values without materializing a list."""
+        if name not in self._columns:
+            raise UnknownColumnError(name, self.column_names)
+        return self._columns[name].iter_values()
 
     def dtype(self, name: str) -> DataType:
         return self.schema.dtype(name)
 
     def row(self, index: int) -> dict[str, object]:
         """One row as a name→value dict."""
-        return {name: values[index] for name, values in self._columns.items()}
+        return {name: column.materialize()[index]
+                for name, column in self._columns.items()}
 
     def rows(self) -> Iterator[dict[str, object]]:
-        for i in range(self.num_rows):
-            yield self.row(i)
+        names = self.column_names
+        columns = [self._columns[n].materialize() for n in names]
+        for values in zip(*columns) if columns else ():
+            yield dict(zip(names, values))
 
     def row_tuples(self) -> Iterator[tuple[object, ...]]:
-        names = self.column_names
-        for i in range(self.num_rows):
-            yield tuple(self._columns[n][i] for n in names)
+        columns = [self._columns[n].materialize() for n in self.column_names]
+        return iter(zip(*columns)) if columns else iter(())
 
     # ------------------------------------------------------------------
     # Row / column algebra (used by the relational engine and operators)
@@ -139,8 +179,8 @@ class Table:
 
     def take(self, indices: Sequence[int]) -> "Table":
         """Rows at *indices*, in that order (may repeat / reorder)."""
-        columns = {name: [values[i] for i in indices]
-                   for name, values in self._columns.items()}
+        columns = {name: column.take(indices)
+                   for name, column in self._columns.items()}
         return Table(self.schema, columns)
 
     def filter(self, mask: Sequence[bool]) -> "Table":
@@ -180,8 +220,8 @@ class Table:
         else:
             base = self
         schema = base.schema.with_column(ColumnSpec(name, dtype))
-        columns = dict(base._columns)
-        columns[name] = list(values)
+        columns: dict[str, object] = dict(base._columns)
+        columns[name] = build_column(list(values), dtype)
         return Table(schema, columns)
 
     def map_column(self, source: str, target: str, dtype: DataType,
@@ -192,21 +232,25 @@ class Table:
 
     def coerced(self) -> "Table":
         """A copy with every relational value coerced to its column dtype."""
-        columns = {}
+        columns: dict[str, object] = {}
         for spec in self.schema.columns:
-            values = self._columns[spec.name]
+            stored = self._columns[spec.name]
             if spec.dtype.is_modality:
-                columns[spec.name] = list(values)
+                columns[spec.name] = stored
             else:
-                columns[spec.name] = [coerce(v, spec.dtype) for v in values]
+                columns[spec.name] = build_column(
+                    [coerce(v, spec.dtype) for v in stored.iter_values()],
+                    spec.dtype)
         return Table(self.schema, columns)
 
     def concat(self, other: "Table") -> "Table":
         """Rows of *other* appended (schemas must have identical columns)."""
         if self.column_names != other.column_names:
             raise SchemaError("cannot concat tables with different columns")
-        columns = {n: self._columns[n] + other._columns[n]
-                   for n in self.column_names}
+        columns = {spec.name: concat_columns(self._columns[spec.name],
+                                             other._columns[spec.name],
+                                             spec.dtype)
+                   for spec in self.schema.columns}
         return Table(self.schema, columns)
 
     # ------------------------------------------------------------------
@@ -217,17 +261,23 @@ class Table:
         """Up to *limit* distinct non-null example values of a column.
 
         Used by prompt construction ("These are some relevant values...").
+        Memoized: a column with fewer than *limit* distinct values forces
+        a full scan, and discovery asks for the same samples every query.
         """
-        seen: list[object] = []
-        for value in self.column(name):
-            if value is None:
-                continue
-            display = value if not self.dtype(name).is_modality else repr(value)
-            if display not in seen:
-                seen.append(display)
-            if len(seen) >= limit:
-                break
-        return seen
+        cached = self._samples.get((name, limit))
+        if cached is None:
+            modality = self.dtype(name).is_modality
+            seen: list[object] = []
+            for value in self.iter_column(name):
+                if value is None:
+                    continue
+                display = value if not modality else repr(value)
+                if display not in seen:
+                    seen.append(display)
+                if len(seen) >= limit:
+                    break
+            cached = self._samples[(name, limit)] = seen
+        return list(cached)
 
     def to_display(self, max_rows: int = 10, max_width: int = 20) -> str:
         """A plain-text rendering for logs, examples, and observations."""
@@ -260,9 +310,12 @@ class Table:
         convention (every mutation helper returns a new ``Table``), so the
         digest is stable for the object's lifetime.  IMAGE cells hash via
         :meth:`repro.vision.image.Image.fingerprint` (itself memoized);
-        everything else hashes by ``repr``.  The sqlite bridge keys its
-        registration memo on this digest, so a table is only copied into
-        sqlite again when its content actually changed.
+        everything else hashes by ``repr``.  The typed column stores
+        round-trip values exactly, so this digest is byte-identical with
+        the historical row store — pre-columnar caches keep their keys.
+        The sqlite bridge keys its registration memo on this digest, so a
+        table is only copied into sqlite again when its content actually
+        changed.
         """
         if self._fingerprint is None:
             from repro.vision.image import Image
@@ -271,7 +324,7 @@ class Table:
                 digest.update(f"{spec.name}:{spec.dtype.value}\n"
                               .encode("utf-8"))
             for spec in self.schema.columns:
-                values = self._columns[spec.name]
+                values = self._columns[spec.name].iter_values()
                 if spec.dtype is DataType.IMAGE:
                     parts = (value.fingerprint() if isinstance(value, Image)
                              else repr(value) for value in values)
@@ -303,7 +356,7 @@ class Table:
         """
         columns: dict[str, list[object]] = {}
         for spec in self.schema.columns:
-            values = self._columns[spec.name]
+            values = self._columns[spec.name].iter_values()
             if spec.dtype is DataType.IMAGE:
                 columns[spec.name] = [self._encode_image(v) for v in values]
             else:
@@ -314,7 +367,7 @@ class Table:
     def from_dict(cls, data: dict) -> "Table":
         """Inverse of :meth:`to_dict`."""
         schema = Schema.from_dict(data["schema"])
-        columns: dict[str, list[object]] = {}
+        columns: dict[str, object] = {}
         for spec in schema.columns:
             values = data["columns"][spec.name]
             if spec.dtype is DataType.IMAGE:
@@ -341,7 +394,11 @@ class Table:
         """Structural equality: schema (incl. dtypes) and cell values."""
         if not isinstance(other, Table):
             return NotImplemented
-        return self.schema == other.schema and self._columns == other._columns
+        if self.schema != other.schema:
+            return False
+        return all(self._columns[n].materialize()
+                   == other._columns[n].materialize()
+                   for n in self.column_names)
 
     __hash__ = None  # mutable container semantics
 

@@ -17,10 +17,12 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from datetime import date
+from typing import Iterator
 
 from repro.data import (ColumnSpec, DataLake, DataSource, DataType,
                         ForeignKey, Schema, SourceKind, Table)
-from repro.vision import Image, SceneSpec, build_scene, render_scene
+from repro.datasets.streaming import DEFAULT_SHARD_ROWS, ShardedTableBuilder
+from repro.vision import LazyImage, SceneSpec, build_scene
 
 MOVEMENT_ERAS = {
     "Renaissance": (1420, 1600),
@@ -78,29 +80,18 @@ class ArtworkDataset:
         return self.scenes[img_path]
 
 
-def generate_artwork_dataset(num_paintings: int = 120, seed: int = 7,
-                             image_size: int = 64,
-                             scale: float = 1.0) -> ArtworkDataset:
-    """Generate a seeded artwork dataset of ``num_paintings * scale``
-    paintings.
+def _painting_stream(num_paintings: int, seed: int,
+                     image_size: int) -> Iterator[tuple]:
+    """Seeded per-painting row stream.
 
-    *scale* is the stress-lake multiplier exposed as ``--scale`` on the CLI
-    (``scale=100`` → 12,000 paintings).  Generation is deterministic in
-    ``(seed, scale)``: the same pair always produces byte-identical tables
-    and rasters.
+    Yields ``(title, artist, inception, movement, genre, img_path, scene)``
+    one painting at a time — the RNG draw order per painting is frozen
+    (old caches key on lake fingerprints), so extend only by appending
+    draws at the end of the loop body.
     """
-    if scale <= 0:
-        raise ValueError(f"scale must be positive, got {scale}")
-    num_paintings = max(1, round(num_paintings * scale))
     rng = random.Random(seed)
     movements = list(MOVEMENT_ERAS)
     genres = list(GENRE_OBJECT_POOLS)
-
-    titles, artists, inceptions = [], [], []
-    chosen_movements, chosen_genres, img_paths = [], [], []
-    image_objects: list[Image] = []
-    scenes: dict[str, SceneSpec] = {}
-
     for index in range(num_paintings):
         movement = rng.choice(movements)
         genre = rng.choice(genres)
@@ -121,15 +112,30 @@ def generate_artwork_dataset(num_paintings: int = 120, seed: int = 7,
             object_counts[category] = rng.randint(1, 3)
         scene = build_scene(object_counts, seed=rng.randrange(2 ** 31),
                             width=image_size, height=image_size)
-        scenes[img_path] = scene
-        image_objects.append(render_scene(scene, path=img_path))
+        yield (title, artist, inception, movement, genre, img_path, scene)
 
-        titles.append(title)
-        artists.append(artist)
-        inceptions.append(inception)
-        chosen_movements.append(movement)
-        chosen_genres.append(genre)
-        img_paths.append(img_path)
+
+def generate_artwork_dataset(num_paintings: int = 120, seed: int = 7,
+                             image_size: int = 64, scale: float = 1.0,
+                             shard_rows: int = DEFAULT_SHARD_ROWS,
+                             ) -> ArtworkDataset:
+    """Generate a seeded artwork dataset of ``num_paintings * scale``
+    paintings.
+
+    *scale* is the stress-lake multiplier exposed as ``--scale`` on the CLI
+    (``scale=100`` → 12,000 paintings).  Generation is deterministic in
+    ``(seed, scale)``: the same pair always produces byte-identical tables
+    and rasters.  It is also streaming: the seeded row stream feeds
+    *shard_rows*-sized ingestion shards (packed into typed columnar
+    storage as they fill), and each image cell is a
+    :class:`~repro.vision.LazyImage` that rasterizes on first pixel
+    access — a scale-1000 lake never materializes its rasters.
+    *shard_rows* is a memory knob only; every value produces an identical
+    dataset.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    num_paintings = max(1, round(num_paintings * scale))
 
     metadata_schema = Schema(
         [ColumnSpec("title", DataType.STRING, "title of the painting"),
@@ -143,19 +149,22 @@ def generate_artwork_dataset(num_paintings: int = 120, seed: int = 7,
                     "path of the painting's image file")],
         description="metadata of the paintings in the museum",
         foreign_keys=[ForeignKey("img_path", "painting_images", "img_path")])
-    metadata = Table(metadata_schema, {
-        "title": titles, "artist": artists, "inception": inceptions,
-        "movement": chosen_movements, "genre": chosen_genres,
-        "img_path": img_paths,
-    })
-
     images_schema = Schema(
         [ColumnSpec("img_path", DataType.STRING, "path of the image file"),
          ColumnSpec("image", DataType.IMAGE, "the painting image")],
         description="images of the paintings",
         foreign_keys=[ForeignKey("img_path", "paintings_metadata",
                                  "img_path")])
-    images = Table(images_schema,
-                   {"img_path": img_paths, "image": image_objects})
-    return ArtworkDataset(metadata=metadata, images=images, scenes=scenes,
+
+    metadata_builder = ShardedTableBuilder(metadata_schema, shard_rows)
+    images_builder = ShardedTableBuilder(images_schema, shard_rows)
+    scenes: dict[str, SceneSpec] = {}
+    for (title, artist, inception, movement, genre, img_path,
+         scene) in _painting_stream(num_paintings, seed, image_size):
+        scenes[img_path] = scene
+        metadata_builder.add((title, artist, inception, movement, genre,
+                              img_path))
+        images_builder.add((img_path, LazyImage(scene, path=img_path)))
+    return ArtworkDataset(metadata=metadata_builder.finish(),
+                          images=images_builder.finish(), scenes=scenes,
                           seed=seed)

@@ -19,6 +19,7 @@ from datetime import date, timedelta
 
 from repro.data import (ColumnSpec, DataLake, DataSource, DataType,
                         ForeignKey, Schema, SourceKind, Table)
+from repro.datasets.streaming import DEFAULT_SHARD_ROWS, ShardedTableBuilder
 from repro.text import GameBoxScore, PlayerLine, generate_report
 
 TEAMS = [
@@ -115,12 +116,16 @@ class RotowireDataset:
 
 def generate_rotowire_dataset(num_games: int = 30, seed: int = 11,
                               players_per_team: int = 4,
-                              scale: float = 1.0) -> RotowireDataset:
+                              scale: float = 1.0,
+                              shard_rows: int = DEFAULT_SHARD_ROWS,
+                              ) -> RotowireDataset:
     """Generate a seeded rotowire dataset with ``num_games * scale`` games.
 
     *scale* is the stress-lake multiplier exposed as ``--scale`` on the CLI
     (``scale=34`` → 1,020 games).  Generation is deterministic in
-    ``(seed, scale)``.
+    ``(seed, scale)``; the per-game row streams feed *shard_rows*-sized
+    ingestion shards (a memory knob only — every value produces an
+    identical dataset).
     """
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
@@ -150,9 +155,10 @@ def generate_rotowire_dataset(num_games: int = 30, seed: int = 11,
     box_scores: list[GameBoxScore] = []
     team_points: dict[tuple[str, int], int] = {}
     player_stats: dict[tuple[str, int], tuple[int, int, int]] = {}
-    teams_to_games_rows: list[list[object]] = []
-    players_to_games_rows: list[list[object]] = []
-    report_rows: list[list[object]] = []
+    teams_to_games = ShardedTableBuilder(_TEAMS_TO_GAMES_SCHEMA, shard_rows)
+    players_to_games = ShardedTableBuilder(_PLAYERS_TO_GAMES_SCHEMA,
+                                           shard_rows)
+    game_reports = ShardedTableBuilder(_REPORTS_SCHEMA, shard_rows)
 
     for game_id in range(1, num_games + 1):
         home, away = rng.sample(team_names, 2)
@@ -175,18 +181,31 @@ def generate_rotowire_dataset(num_games: int = 30, seed: int = 11,
                 lines.append(PlayerLine(player, team, points, rebounds,
                                         assists))
                 player_stats[(player, game_id)] = (points, rebounds, assists)
-                players_to_games_rows.append([player, game_id])
+                players_to_games.add([player, game_id])
         box = GameBoxScore(game_id, home, away, home_points, away_points,
                            lines)
         box_scores.append(box)
         team_points[(home, game_id)] = home_points
         team_points[(away, game_id)] = away_points
-        teams_to_games_rows.append([home, game_id])
-        teams_to_games_rows.append([away, game_id])
-        report_rows.append([game_id, game_date(game_id),
-                            generate_report(box, seed=seed + game_id)])
+        teams_to_games.add([home, game_id])
+        teams_to_games.add([away, game_id])
+        game_reports.add([game_id, game_date(game_id),
+                          generate_report(box, seed=seed + game_id)])
 
-    teams_schema = Schema(
+    return RotowireDataset(
+        teams=Table.from_rows(_TEAMS_SCHEMA, team_rows),
+        players=Table.from_rows(_PLAYERS_SCHEMA, player_rows),
+        teams_to_games=teams_to_games.finish(),
+        players_to_games=players_to_games.finish(),
+        game_reports=game_reports.finish(),
+        box_scores=box_scores,
+        seed=seed,
+        team_points=team_points,
+        player_stats=player_stats,
+    )
+
+
+_TEAMS_SCHEMA = Schema(
         [ColumnSpec("name", DataType.STRING, "team name"),
          ColumnSpec("city", DataType.STRING, "home city of the team"),
          ColumnSpec("conference", DataType.STRING,
@@ -197,7 +216,7 @@ def generate_rotowire_dataset(num_games: int = 30, seed: int = 11,
         description="general information for every team",
         foreign_keys=[ForeignKey("name", "teams_to_games", "name")],
         primary_key="name")
-    players_schema = Schema(
+_PLAYERS_SCHEMA = Schema(
         [ColumnSpec("name", DataType.STRING, "player name"),
          ColumnSpec("team", DataType.STRING, "team the player plays for"),
          ColumnSpec("height_cm", DataType.INTEGER,
@@ -209,19 +228,19 @@ def generate_rotowire_dataset(num_games: int = 30, seed: int = 11,
         foreign_keys=[ForeignKey("team", "teams", "name"),
                       ForeignKey("name", "players_to_games", "name")],
         primary_key="name")
-    teams_to_games_schema = Schema(
+_TEAMS_TO_GAMES_SCHEMA = Schema(
         [ColumnSpec("name", DataType.STRING, "team name"),
          ColumnSpec("game_id", DataType.INTEGER, "identifier of the game")],
         description="which team participated in which game",
         foreign_keys=[ForeignKey("name", "teams", "name"),
                       ForeignKey("game_id", "game_reports", "game_id")])
-    players_to_games_schema = Schema(
+_PLAYERS_TO_GAMES_SCHEMA = Schema(
         [ColumnSpec("name", DataType.STRING, "player name"),
          ColumnSpec("game_id", DataType.INTEGER, "identifier of the game")],
         description="which player participated in which game",
         foreign_keys=[ForeignKey("name", "players", "name"),
                       ForeignKey("game_id", "game_reports", "game_id")])
-    reports_schema = Schema(
+_REPORTS_SCHEMA = Schema(
         [ColumnSpec("game_id", DataType.INTEGER, "identifier of the game"),
          ColumnSpec("date", DataType.DATE,
                     "calendar date the game was played on"),
@@ -230,16 +249,3 @@ def generate_rotowire_dataset(num_games: int = 30, seed: int = 11,
         description="textual game reports",
         foreign_keys=[ForeignKey("game_id", "teams_to_games", "game_id")])
 
-    return RotowireDataset(
-        teams=Table.from_rows(teams_schema, team_rows),
-        players=Table.from_rows(players_schema, player_rows),
-        teams_to_games=Table.from_rows(teams_to_games_schema,
-                                       teams_to_games_rows),
-        players_to_games=Table.from_rows(players_to_games_schema,
-                                         players_to_games_rows),
-        game_reports=Table.from_rows(reports_schema, report_rows),
-        box_scores=box_scores,
-        seed=seed,
-        team_points=team_points,
-        player_stats=player_stats,
-    )

@@ -48,6 +48,11 @@ class ExecutionContext:
     #: record cache locality and inference counts into it via
     #: :meth:`count` / :meth:`record_answer_lookup`.
     telemetry: QueryTelemetry | None = None
+    #: which relational engine executes SQL / Join steps: ``"columnar"``
+    #: and ``"native"`` run supported statements in-process
+    #: (:mod:`repro.relational.colexec`) and fall back to the sqlite
+    #: bridge; ``"sqlite"`` always uses the bridge.
+    relational_engine: str = "columnar"
 
     def resolve(self, name: str) -> Table:
         if name not in self.tables:

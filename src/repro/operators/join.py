@@ -25,6 +25,7 @@ from repro.errors import OperatorError, ReproError
 from repro.operators.base import (ExecutionContext, OperatorCard,
                                   OperatorResult, PhysicalOperator,
                                   register_operator)
+from repro.relational import colexec
 from repro.relational.ops import join
 from repro.relational.sqlexec import build_join_sql
 
@@ -56,8 +57,18 @@ class JoinOperator(PhysicalOperator):
                     f"join key {key!r} is missing from table {name!r} "
                     f"(available columns: {table.column_names})",
                     operator=self.name)
+        result = None
+        if context.relational_engine != "sqlite":
+            # In-process join in the bridge's result representation;
+            # shapes it cannot reproduce byte-identically fall through.
+            try:
+                result = colexec.join_tables(left, right, left_on, right_on)
+            except colexec.UnsupportedSQL:
+                result = None
         try:
-            if context.sql_bridge is not None:
+            if result is not None:
+                pass
+            elif context.sql_bridge is not None:
                 sql = build_join_sql(left_name, right_name, left_on,
                                      right_on, left.column_names,
                                      right.column_names)

@@ -15,6 +15,7 @@ from repro.errors import OperatorError, ReproError
 from repro.operators.base import (ExecutionContext, OperatorCard,
                                   OperatorResult, PhysicalOperator,
                                   register_operator)
+from repro.relational import colexec
 from repro.relational.sqlexec import SQLExecutor
 
 
@@ -50,19 +51,30 @@ class SQLOperator(PhysicalOperator):
         (sql,) = self.require_args(args, 1)
         context.count("sql_statements")
         tables = referenced_tables(sql, context.tables)
-        try:
-            if context.sql_bridge is not None:
-                # Engine-lifetime connection: registration is memoized on
-                # content fingerprints, pruned against the current context.
-                result = context.sql_bridge.execute(sql, tables,
-                                                    known=context.tables)
-            else:
-                with SQLExecutor() as executor:
-                    for name, table in tables.items():
-                        executor.register(name, table)
-                    result = executor.execute(sql)
-        except ReproError as exc:
-            raise OperatorError(str(exc), operator=self.name) from exc
+        result = None
+        if context.relational_engine != "sqlite":
+            # In-process execution over column storage; anything outside
+            # the proven-identical envelope falls through to the bridge.
+            try:
+                result = colexec.execute(sql, tables,
+                                         engine=context.relational_engine)
+            except colexec.UnsupportedSQL:
+                result = None
+        if result is None:
+            try:
+                if context.sql_bridge is not None:
+                    # Engine-lifetime connection: registration is memoized
+                    # on content fingerprints, pruned against the current
+                    # context.
+                    result = context.sql_bridge.execute(sql, tables,
+                                                        known=context.tables)
+                else:
+                    with SQLExecutor() as executor:
+                        for name, table in tables.items():
+                            executor.register(name, table)
+                        result = executor.execute(sql)
+            except ReproError as exc:
+                raise OperatorError(str(exc), operator=self.name) from exc
         observation = (
             f"SQL returned a table with {result.num_rows} rows and columns "
             f"{result.column_names}.")

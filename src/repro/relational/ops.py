@@ -12,6 +12,7 @@ through this engine or through the sqlite3 bridge
 
 from __future__ import annotations
 
+import sqlite3
 from typing import Callable, Sequence
 
 from repro.data.datatypes import DataType
@@ -133,6 +134,32 @@ def _numeric(values: list[object], agg: str) -> list[float]:
     return numbers
 
 
+def sqlite_float_sum(numbers: Sequence[float]) -> float:
+    """Sum *numbers* exactly the way the host sqlite's ``SUM()`` does.
+
+    sqlite accumulates floating-point sums naively (in row order) before
+    3.44 and with Kahan-Babuska compensation from 3.44 on.  Matching the
+    linked library keeps native/columnar aggregates byte-identical with
+    the sqlite bridge on every platform, which the differential fuzzer
+    asserts.
+    """
+    if sqlite3.sqlite_version_info < (3, 44, 0):
+        total = 0.0
+        for number in numbers:
+            total += number
+        return total
+    total = 0.0
+    error = 0.0
+    for number in numbers:
+        new_total = total + number
+        if abs(total) > abs(number):
+            error += (total - new_total) + number
+        else:
+            error += (number - new_total) + total
+        total = new_total
+    return total + error
+
+
 def _agg_count(values: list[object]) -> int:
     return sum(1 for v in values if v is not None)
 
@@ -143,12 +170,20 @@ def _agg_count_distinct(values: list[object]) -> int:
 
 def _agg_sum(values: list[object]) -> object:
     numbers = _numeric(values, "sum")
-    return sum(numbers) if numbers else None
+    if not numbers:
+        return None
+    if all(type(n) is int for n in numbers):
+        return sum(numbers)
+    return sqlite_float_sum(numbers)
 
 
 def _agg_avg(values: list[object]) -> object:
     numbers = _numeric(values, "avg")
-    return sum(numbers) / len(numbers) if numbers else None
+    if not numbers:
+        return None
+    if all(type(n) is int for n in numbers):
+        return sum(numbers) / len(numbers)
+    return sqlite_float_sum(numbers) / len(numbers)
 
 
 def _agg_min(values: list[object]) -> object:

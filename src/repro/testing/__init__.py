@@ -1,0 +1,16 @@
+"""Testing substrate: the differential query fuzzer."""
+
+from repro.testing.fuzz import (ENGINES, LANES, FuzzQuery, FuzzReport,
+                                QueryGenerator, execute_three_ways,
+                                generate_queries, run_fuzz)
+
+__all__ = [
+    "ENGINES",
+    "LANES",
+    "FuzzQuery",
+    "FuzzReport",
+    "QueryGenerator",
+    "execute_three_ways",
+    "generate_queries",
+    "run_fuzz",
+]

@@ -2,7 +2,7 @@
 
 from repro.vision.blip import Blip2Sim, Detection
 from repro.vision.image import Image
-from repro.vision.renderer import glyph_mask, render_scene
+from repro.vision.renderer import LazyImage, glyph_mask, render_scene
 from repro.vision.scene import (CATEGORIES, Category, SceneObject, SceneSpec,
                                 build_scene, categories_in_phrase,
                                 category_for_word)
@@ -13,6 +13,7 @@ __all__ = [
     "Category",
     "Detection",
     "Image",
+    "LazyImage",
     "SceneObject",
     "SceneSpec",
     "build_scene",

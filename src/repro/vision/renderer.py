@@ -33,6 +33,60 @@ def render_scene(scene: SceneSpec, path: str = "") -> Image:
     return Image(pixels.astype(np.uint8), path=path)
 
 
+class LazyImage(Image):
+    """An :class:`Image` whose raster is rendered on first pixel access.
+
+    Streaming lake generation stores one of these per painting instead of
+    an eagerly rendered raster: the scene spec it wraps is a few dozen
+    bytes, so a scale-1000 image collection fits in memory while the
+    rasters (12 KB each) only ever exist for images a query touches.
+
+    Rendering is deterministic in the scene spec, so every derived value
+    (pixels, :meth:`fingerprint`, ``to_dict``) is byte-identical with the
+    eager ``render_scene(scene, path)`` image.  :meth:`fingerprint` on an
+    un-rendered image hashes a *transient* raster and keeps only the
+    digest — a full-lake content fingerprint pass stays one-raster-peak
+    instead of materializing the whole collection.
+    """
+
+    def __init__(self, scene: SceneSpec, path: str = ""):
+        # Deliberately no super().__init__: pixels is lazy here.
+        self._scene = scene
+        self._pixels: np.ndarray | None = None
+        self.path = path
+        self._fingerprint: str | None = None
+
+    @property
+    def pixels(self) -> np.ndarray:
+        if self._pixels is None:
+            self._pixels = render_scene(self._scene, path=self.path).pixels
+        return self._pixels
+
+    @property
+    def rendered(self) -> bool:
+        """Whether the raster has been materialized (tests/telemetry)."""
+        return self._pixels is not None
+
+    @property
+    def height(self) -> int:
+        return self._scene.height
+
+    @property
+    def width(self) -> int:
+        return self._scene.width
+
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            if self._pixels is None:
+                # Hash a transient render; drop the raster, keep the digest.
+                self._fingerprint = render_scene(
+                    self._scene, path=self.path).fingerprint()
+            else:
+                self._fingerprint = Image(self._pixels,
+                                          path=self.path).fingerprint()
+        return self._fingerprint
+
+
 def _draw_object(pixels: np.ndarray, obj: SceneObject,
                  rng: np.random.Generator) -> None:
     category = CATEGORIES[obj.category]

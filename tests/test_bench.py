@@ -6,7 +6,8 @@ import pytest
 
 from repro.benchmarks import BenchConfig, run_benchmark, workload
 from repro.benchmarks.harness import _parse_workers
-from repro.benchmarks.workloads import WORKLOADS
+from repro.benchmarks.workloads import (RELATIONAL_WORKLOADS, WORKLOADS,
+                                        workload_names)
 
 
 def test_workload_repeats_fixed_list():
@@ -19,6 +20,20 @@ def test_workload_rejects_unknown_dataset_and_bad_repeats():
         workload("nope")
     with pytest.raises(ValueError):
         workload("artwork", repeats=0)
+    with pytest.raises(KeyError):
+        workload("artwork", name="nope")
+
+
+def test_relational_workload_family():
+    assert workload_names() == ("relational", "standard")
+    assert (workload("rotowire", repeats=2, name="relational")
+            == list(RELATIONAL_WORKLOADS["rotowire"]) * 2)
+    # The relational family is the storage-bound profile: every query
+    # must avoid the modality operators (VQA / TextQA / plot).
+    for queries in RELATIONAL_WORKLOADS.values():
+        for query in queries:
+            assert "depicting" not in query.lower(), query
+            assert not query.lower().startswith("plot"), query
 
 
 def test_parse_workers():
@@ -44,6 +59,14 @@ def test_config_validation():
         BenchConfig(repeats=0)
     with pytest.raises(ValueError):
         BenchConfig(scale=0)
+    with pytest.raises(ValueError):
+        BenchConfig(workload_name="nope")
+    with pytest.raises(ValueError):
+        BenchConfig(store="parquet")
+    with pytest.raises(ValueError):
+        BenchConfig(engine="duckdb")
+    with pytest.raises(ValueError):
+        BenchConfig(baseline_store="parquet")
 
 
 def test_bench_cli_rejects_bad_repeats(capsys):
@@ -115,3 +138,35 @@ def test_run_benchmark_multi_backend_curves(tmp_path):
     for metrics in process_warm:
         assert metrics["plan_cache"]["hit_rate"] == 1.0
         assert metrics["answer_cache"]["misses"] == 0
+
+
+def test_run_benchmark_store_baseline_leg():
+    from repro.data.columns import table_store
+    config = BenchConfig(dataset="rotowire", scale=0.2, workers=(1,),
+                         repeats=1, llm_latency_ms=0.0, output=None,
+                         workload_name="relational", baseline_store="row",
+                         quiet=True)
+    record = run_benchmark(config)
+    assert record["workload"] == "relational"
+    assert record["table_store"] == "columnar"
+    assert record["relational_engine"] == "columnar"
+    baseline = record["baseline"]
+    assert baseline["table_store"] == "row"
+    assert baseline["relational_engine"] == "sqlite"
+    # Same lake either way: the store is not part of the fingerprint.
+    assert baseline["lake_fingerprint"] == record["lake_fingerprint"]
+    for run in baseline["runs"]:
+        assert run["cold"]["errors"] == 0
+        assert run["warm"]["errors"] == 0
+    assert record["warm_speedup_vs_baseline"]["thread"]["1"] > 0
+    # The store/engine pins must not leak out of the run.
+    assert table_store() == "columnar"
+
+
+def test_run_benchmark_rejects_baseline_with_provided_lake():
+    from repro.datasets import load_lake
+    config = BenchConfig(dataset="rotowire", scale=0.1, workers=(1,),
+                         repeats=1, llm_latency_ms=0.0, output=None,
+                         baseline_store="row", quiet=True)
+    with pytest.raises(ValueError):
+        run_benchmark(config, lake=load_lake("rotowire", scale=0.1))

@@ -1,0 +1,156 @@
+"""Differential fuzzer parity: three engines, three lanes, zero drift.
+
+The CI anchor for the columnar rewrite: 200 seeded random queries per
+run, every one executed under the sqlite bridge (reference), the
+columnar engine, and the native ops, then the whole run repeated under
+thread and process lanes — all byte-identical.  A randomized soak rides
+along in CI (see ci.sh) with its seed printed, so any failure lands
+back here as a pinned regression.
+"""
+
+import json
+
+import pytest
+
+from repro.datasets import load_lake
+from repro.relational import colexec
+from repro.relational.sqlexec import run_sql
+from repro.testing.fuzz import (ENGINES, LANES, QueryGenerator,
+                                execute_three_ways, generate_queries,
+                                run_fuzz)
+
+PINNED_SEED = 7
+QUERY_COUNT = 200
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_fuzz(PINNED_SEED, QUERY_COUNT, lanes=LANES)
+
+
+def test_fixed_seed_run_is_clean(report):
+    assert len(report.queries) == QUERY_COUNT
+    assert report.mismatches == []
+    assert report.lane_mismatches == []
+    assert report.ok
+
+
+def test_generator_stays_inside_the_supported_envelope(report):
+    # Every generated query must execute in-process: a query colexec
+    # declines falls back to the bridge in production and proves nothing
+    # about the columnar engine, so the generator may not emit one.
+    assert report.unsupported == []
+    for entry in report.canonical_results():
+        assert set(entry["engines"]) == set(ENGINES)
+        reference = entry["engines"]["sqlite"]
+        for engine in ("columnar", "native"):
+            assert entry["engines"][engine] == reference, entry["sql"]
+
+
+def test_generator_covers_every_shape_and_dataset(report):
+    shapes = {query.shape for query in report.queries}
+    assert shapes == {"filter", "aggregate", "group", "join", "distinct"}
+    assert {query.dataset for query in report.queries} == {"artwork",
+                                                          "rotowire"}
+
+
+def test_query_generation_is_deterministic():
+    lakes = {name: load_lake(name) for name in ("artwork", "rotowire")}
+    first = generate_queries(11, 40, lakes=lakes)
+    second = generate_queries(11, 40, lakes=lakes)
+    assert first == second
+    # A different seed draws a different stream.
+    assert generate_queries(12, 40, lakes=lakes) != first
+
+
+def test_generated_sql_round_trips_through_json(report):
+    # Canonical entries are what the lane-parity check serializes; they
+    # must stay JSON-stable (no floats reprs drifting through dumps).
+    dumped = json.dumps(report.canonical_results(), sort_keys=True)
+    assert json.loads(dumped) == report.canonical_results()
+
+
+# ----------------------------------------------------------------------
+# The fuzzer-found planner regression, pinned
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def rotowire_tables():
+    lake = load_lake("rotowire")
+    return {name: source.table for name, source in lake.sources.items()}
+
+
+def test_join_where_on_right_side_columns_is_declined(rotowire_tables):
+    # Found by the soak (seed=500242479): with a WHERE over right-table
+    # columns sqlite's planner flips the scan to the right table,
+    # reordering the result.  colexec must decline rather than guess.
+    sql = ("SELECT * FROM teams JOIN teams_to_games USING (name) "
+           "WHERE game_id >= 1")
+    for engine in ("columnar", "native"):
+        with pytest.raises(colexec.UnsupportedSQL):
+            colexec.execute(sql, rotowire_tables, engine=engine)
+
+
+def test_join_where_on_left_side_columns_matches_sqlite(rotowire_tables):
+    # Left-side (and merged-key) predicates keep sqlite on the
+    # FROM-order plan colexec replicates, so these stay in-process.
+    for sql in (
+        "SELECT * FROM teams JOIN teams_to_games USING (name) "
+        "WHERE founded >= 0",
+        "SELECT * FROM teams JOIN teams_to_games USING (name) "
+        "WHERE name LIKE 'H%'",
+    ):
+        reference = run_sql(sql, rotowire_tables)
+        for engine in ("columnar", "native"):
+            result = colexec.execute(sql, rotowire_tables, engine=engine)
+            assert (result.fingerprint() == reference.fingerprint()), (
+                engine, sql)
+
+
+def test_execute_three_ways_flags_declined_queries(rotowire_tables):
+    from repro.testing.fuzz import FuzzQuery
+    query = FuzzQuery(
+        "rotowire",
+        "SELECT * FROM teams JOIN teams_to_games USING (name) "
+        "WHERE game_id >= 1",
+        ("teams", "teams_to_games"), "join")
+    entry, reason = execute_three_ways(query, rotowire_tables)
+    assert reason is not None and "right-side" in reason
+    assert "unsupported" in entry["engines"]["columnar"]
+    assert "fingerprint" in entry["engines"]["sqlite"]
+
+
+def test_generator_never_emits_right_side_join_predicates():
+    # The generator contract backing the envelope test above: USING-join
+    # WHERE clauses reference only left-table (or merged-key) columns.
+    lakes = {name: load_lake(name) for name in ("artwork", "rotowire")}
+    generator = QueryGenerator(lakes, seed=3)
+    joins = [q for q in (generator.generate() for _ in range(400))
+             if q.shape == "join" and " WHERE " in q.sql]
+    assert joins, "expected some join queries with predicates"
+    for query in joins:
+        left = query.tables[0]
+        right = query.tables[1]
+        where = query.sql.split(" WHERE ", 1)[1]
+        left_columns = set(
+            lakes[query.dataset].sources[left].table.column_names)
+        right_only = set(
+            lakes[query.dataset].sources[right].table.column_names
+        ) - left_columns
+        for column in right_only:
+            assert column not in where, query.sql
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_repro_fuzz_cli_runs_a_pinned_seed(capsys):
+    from repro.cli import main
+    assert main(["fuzz", "--seed", "7", "--count", "25",
+                 "--strict-unsupported"]) == 0
+    out = capsys.readouterr().out
+    assert "seed=7" in out
+    assert "parity mismatches : 0" in out

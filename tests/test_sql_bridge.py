@@ -88,8 +88,12 @@ def test_bridge_matches_one_shot_run_sql(rotowire_lake):
 
 
 def test_engine_reuses_registrations_across_batch():
+    # Pin the sqlite engine: under the default columnar engine supported
+    # statements run in-process and never touch the bridge.
+    from repro.core.engine import EngineConfig
     queries = ["How many players are taller than 200?"] * 3
-    with Session("rotowire") as session:
+    with Session("rotowire",
+                 config=EngineConfig(relational_engine="sqlite")) as session:
         report = session.batch(queries)
         assert report.num_errors == 0
         bridge = session.engine_pool(1)[0].sql_bridge

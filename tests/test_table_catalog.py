@@ -69,3 +69,130 @@ def test_lake_fingerprint_is_stable_and_shape_sensitive():
     lake_c = DataLake(name="c").add_table(
         "players", Table.from_rows(_SCHEMA, _ROWS[:2]))
     assert lake_a.fingerprint() != lake_c.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Columnar-storage edge cases (the fuzzer's first likely finds)
+# ----------------------------------------------------------------------
+
+
+def make_typed_table(columns):
+    from repro.data.datatypes import infer_column_type
+    specs = [ColumnSpec(name, infer_column_type(list(values)))
+             for name, values in columns.items()]
+    return Table(Schema(specs), columns)
+
+
+def test_all_none_typed_columns_store_and_roundtrip():
+    schema = Schema([ColumnSpec("n", DataType.INTEGER),
+                     ColumnSpec("f", DataType.FLOAT),
+                     ColumnSpec("b", DataType.BOOLEAN),
+                     ColumnSpec("d", DataType.DATE),
+                     ColumnSpec("s", DataType.STRING)])
+    nones = {name: [None, None] for name in schema.column_names}
+    table = Table(schema, nones)
+    for name in schema.column_names:
+        assert table.column(name) == [None, None]
+    again = Table.from_dict(table.to_dict())
+    assert again == table
+    assert again.fingerprint() == table.fingerprint()
+
+
+def test_all_none_typed_column_concat_with_values():
+    schema = Schema([ColumnSpec("n", DataType.INTEGER)])
+    nones = Table(schema, {"n": [None, None]})
+    values = Table(schema, {"n": [7]})
+    assert nones.concat(values).column("n") == [None, None, 7]
+    assert values.concat(nones).column("n") == [7, None, None]
+
+
+def test_typed_columns_round_trip_exactly():
+    from datetime import date
+    # Values the typed stores must reproduce bit-for-bit — fingerprints
+    # hash reprs, so any drift would silently invalidate old caches.
+    int64_min, int64_max = -2 ** 63, 2 ** 63 - 1
+    table = make_typed_table({
+        "i": [int64_min, int64_max, 0, None],
+        "f": [-0.0, float("inf"), 1e-323, None],
+        "d": [date.min, date.max, date(2020, 2, 29), None],
+        "b": [True, False, None, None],
+    })
+    assert table.column("i") == [int64_min, int64_max, 0, None]
+    values = table.column("f")
+    assert repr(values[0]) == "-0.0" and values[1] == float("inf")
+    assert values[2] == 1e-323
+    assert table.column("d")[:3] == [date.min, date.max, date(2020, 2, 29)]
+    assert table.column("b") == [True, False, None, None]
+
+
+def test_int64_overflow_and_bool_contamination_fall_back():
+    from repro.data.columns import IntColumn, ObjectColumn, build_column
+    from repro.data.datatypes import DataType as DT
+    assert isinstance(build_column([2 ** 63 - 1, None], DT.INTEGER),
+                      IntColumn)
+    # Out-of-int64 values and bools (bool is not int here: reprs differ)
+    # must demote to object storage rather than corrupt the typed buffer.
+    assert isinstance(build_column([2 ** 63, 1], DT.INTEGER), ObjectColumn)
+    assert isinstance(build_column([-2 ** 63 - 1, 1], DT.INTEGER),
+                      ObjectColumn)
+    assert isinstance(build_column([True, 1], DT.INTEGER), ObjectColumn)
+    assert build_column([2 ** 63, 1], DT.INTEGER).materialize() == [2 ** 63, 1]
+
+
+def test_empty_table_joins_match_across_engines():
+    from repro.relational import colexec, ops
+    from repro.relational.sqlexec import build_join_sql, run_sql
+    empty = Table.empty(Schema([ColumnSpec("k", DataType.STRING),
+                                ColumnSpec("v", DataType.INTEGER)]))
+    other = Table(Schema([ColumnSpec("k", DataType.STRING),
+                          ColumnSpec("w", DataType.INTEGER)]),
+                  {"k": ["a"], "w": [1]})
+    for left, right in ((empty, other), (other, empty), (empty, empty)):
+        sql = build_join_sql("l", "r", "k", "k", left.column_names,
+                             right.column_names)
+        bridged = run_sql(sql, {"l": left, "r": right})
+        columnar = colexec.join_tables(left, right, "k", "k")
+        assert columnar.to_dict() == bridged.to_dict()
+        assert columnar.fingerprint() == bridged.fingerprint()
+        assert ops.join(left, right, "k", "k").num_rows == 0
+
+
+def test_empty_table_aggregates_match_sqlite():
+    from repro.relational import colexec, ops
+    from repro.relational.sqlexec import run_sql
+    empty = Table.empty(Schema([ColumnSpec("k", DataType.STRING),
+                                ColumnSpec("v", DataType.INTEGER)]))
+    sql = ("SELECT COUNT(*) AS c, SUM(v) AS s, AVG(v) AS a, MIN(v) AS m "
+           "FROM t")
+    bridged = run_sql(sql, {"t": empty})
+    assert bridged.to_dict()["columns"] == {"c": [0], "s": [None],
+                                            "a": [None], "m": [None]}
+    for engine in ("columnar", "native"):
+        result = colexec.execute(sql, {"t": empty}, engine=engine)
+        assert result.to_dict() == bridged.to_dict(), engine
+    grouped = ops.group_aggregate(empty, ["k"], [("count", "*", "c")])
+    assert grouped.num_rows == 0
+
+
+def test_date_coercion_at_column_boundaries():
+    from datetime import date, datetime
+    from repro.data.datatypes import coerce
+    from repro.errors import TypeMismatchError
+    assert coerce("0001-01-01", DataType.DATE) == date.min
+    assert coerce("9999-12-31", DataType.DATE) == date.max
+    assert coerce(datetime(2020, 1, 2, 3, 4), DataType.DATE) == date(2020, 1, 2)
+    for bad in ("2020-1-2", "2020-13-01", "2020-02-30", 737791):
+        with pytest.raises(TypeMismatchError):
+            coerce(bad, DataType.DATE)
+
+
+def test_date_column_boundaries_survive_take_and_concat():
+    from datetime import date
+    schema = Schema([ColumnSpec("d", DataType.DATE)])
+    table = Table(schema, {"d": [date.min, None, date.max]})
+    taken = table.take([2, 0])
+    assert taken.column("d") == [date.max, date.min]
+    merged = table.concat(taken)
+    assert merged.column("d") == [date.min, None, date.max, date.max,
+                                  date.min]
+    assert Table.from_dict(merged.to_dict()) == merged
